@@ -1,0 +1,48 @@
+GO ?= go
+
+.PHONY: all build test race cover bench fig3 fig4 ablations verify fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Full benchmark suite (every table/figure bench plus ablations and
+# per-substrate microbenchmarks).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's figures (scale relative to the paper's n=1M).
+SCALE ?= 0.1
+REPS  ?= 3
+
+fig3:
+	$(GO) run ./cmd/bccbench -scale $(SCALE) -reps $(REPS) -csv results/fig3.csv | tee results/fig3.txt
+
+fig4:
+	$(GO) run ./cmd/bccbreakdown -scale $(SCALE) -reps $(REPS) -csv results/fig4.csv | tee results/fig4.txt
+
+ablations:
+	$(GO) test -run xxx -bench 'Ablation' -benchtime 3x . | tee results/ablations.txt
+
+# Randomized cross-validation of all algorithms.
+verify:
+	$(GO) run ./cmd/bccverify -trials 500
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,66 @@
+// Command bccbench regenerates the paper's Figure 3: execution time and
+// speedup of the sequential, TV-SMP, TV-opt and TV-filter biconnected
+// components implementations on random graphs of several edge densities,
+// swept over processor counts.
+//
+// The paper's instances are 1M-vertex graphs with 4M, 10M and 20M (n log n)
+// edges on a 12-processor Sun E4500; -scale shrinks the instances
+// proportionally for quick runs and -maxprocs bounds the sweep.
+//
+// Usage:
+//
+//	bccbench [-scale 0.1] [-maxprocs N] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"bicc/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bccbench: ")
+	scale := flag.Float64("scale", 0.1, "instance scale relative to the paper's n=1M")
+	maxprocs := flag.Int("maxprocs", runtime.GOMAXPROCS(0), "largest worker count in the sweep")
+	reps := flag.Int("reps", 3, "repetitions per configuration (median reported)")
+	csvPath := flag.String("csv", "", "also write measurements as CSV to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	instances := bench.PaperInstances(*scale)
+	procs := bench.ProcsSweep(*maxprocs)
+	fmt.Printf("# paper: Cong & Bader, IPPS 2005, Fig. 3 (Sun E4500, 12 procs, n=1M)\n")
+	fmt.Printf("# here: scale=%.3g, GOMAXPROCS=%d, procs sweep %v, reps=%d\n",
+		*scale, runtime.GOMAXPROCS(0), procs, *reps)
+	ms, err := bench.Fig3(os.Stdout, instances, procs, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := bench.Fig3CSV(f, ms); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

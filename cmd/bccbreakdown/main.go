@@ -1,0 +1,48 @@
+// Command bccbreakdown regenerates the paper's Figure 4: the per-step
+// execution-time breakdown (Spanning-tree, Euler-tour, root, Low-high,
+// Label-edge, Connected-components, Filtering) of TV-SMP, TV-opt and
+// TV-filter at the maximum processor count, across the paper's three edge
+// densities.
+//
+// Usage:
+//
+//	bccbreakdown [-scale 0.1] [-p N] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"bicc/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bccbreakdown: ")
+	scale := flag.Float64("scale", 0.1, "instance scale relative to the paper's n=1M")
+	procs := flag.Int("p", runtime.GOMAXPROCS(0), "worker count (paper: 12)")
+	reps := flag.Int("reps", 3, "repetitions per configuration (median reported)")
+	csvPath := flag.String("csv", "", "also write the breakdown as CSV to this file")
+	flag.Parse()
+
+	instances := bench.PaperInstances(*scale)
+	fmt.Printf("# paper: Cong & Bader, IPPS 2005, Fig. 4 (breakdown at 12 procs, n=1M)\n")
+	fmt.Printf("# here: scale=%.3g, p=%d, reps=%d\n", *scale, *procs, *reps)
+	ms, err := bench.Fig4(os.Stdout, instances, *procs, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := bench.Fig4CSV(f, ms); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Biconnected components as the classical preprocessing step for graph
+// planarity testing — the paper's second named application ("is also used
+// in graph planarity testing").
+//
+// A graph is planar iff all of its biconnected components are planar, so
+// planarity testers first split the graph into blocks and test each block
+// independently. This example performs the split on a road-network-like
+// graph (a mesh of city blocks joined by bridges across a river, plus
+// cul-de-sacs) and then applies Euler's necessary condition m <= 3v - 6 to
+// every block — a cheap certificate that no block is "obviously"
+// non-planar. One deliberately embedded K5 (non-planar clique) is caught by
+// the same check.
+//
+//	run: go run ./examples/planarity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bicc"
+)
+
+func main() {
+	var edges []bicc.Edge
+	n := 0
+	vertex := func() int32 { n++; return int32(n - 1) }
+	link := func(u, v int32) { edges = append(edges, bicc.Edge{U: u, V: v}) }
+
+	// District A: a 6x6 street grid (planar, biconnected).
+	gridA := buildGrid(6, 6, vertex, link)
+	// District B: a 5x8 street grid.
+	gridB := buildGrid(5, 8, vertex, link)
+	// One bridge across the river joins the districts: a cut edge.
+	link(gridA[5][5], gridB[0][0])
+	// A few cul-de-sacs (pendant chains) off district A.
+	cul := vertex()
+	link(gridA[0][0], cul)
+	cul2 := vertex()
+	link(cul, cul2)
+	// A deliberately non-planar interchange: K5 hanging off district B.
+	k5 := make([]int32, 5)
+	for i := range k5 {
+		k5[i] = vertex()
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			link(k5[i], k5[j])
+		}
+	}
+	link(gridB[4][7], k5[0])
+
+	g, err := bicc.NewGraph(n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bicc.BiconnectedComponents(g, &bicc.Options{Algorithm: bicc.TVFilter})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("road network: %d junctions, %d segments\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("blocks to test independently: %d\n\n", res.NumComponents)
+
+	// Apply Euler's bound per block.
+	for k, comp := range res.Components() {
+		verts := map[int32]bool{}
+		for _, i := range comp {
+			e := g.Edges()[i]
+			verts[e.U] = true
+			verts[e.V] = true
+		}
+		v, m := len(verts), len(comp)
+		status := "passes Euler bound (candidate planar)"
+		if v >= 3 && m > 3*v-6 {
+			status = "VIOLATES m <= 3v-6: certainly non-planar"
+		}
+		if m == 1 {
+			status = "bridge (trivially planar)"
+		}
+		if m > 1 || status != "bridge (trivially planar)" {
+			fmt.Printf("block %2d: v=%3d m=%3d  %s\n", k, v, m, status)
+		}
+	}
+
+	// Summary: only the K5 block must fail.
+	fail := 0
+	for _, comp := range res.Components() {
+		verts := map[int32]bool{}
+		for _, i := range comp {
+			e := g.Edges()[i]
+			verts[e.U] = true
+			verts[e.V] = true
+		}
+		if v, m := len(verts), len(comp); v >= 3 && m > 3*v-6 {
+			fail++
+		}
+	}
+	fmt.Printf("\nblocks failing the planarity bound: %d (expected 1: the K5 interchange)\n", fail)
+}
+
+// buildGrid wires up an r x c grid and returns the vertex matrix.
+func buildGrid(r, c int, vertex func() int32, link func(u, v int32)) [][]int32 {
+	m := make([][]int32, r)
+	for i := range m {
+		m[i] = make([]int32, c)
+		for j := range m[i] {
+			m[i][j] = vertex()
+		}
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				link(m[i][j], m[i][j+1])
+			}
+			if i+1 < r {
+				link(m[i][j], m[i+1][j])
+			}
+		}
+	}
+	return m
+}

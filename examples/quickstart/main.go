@@ -1,0 +1,67 @@
+// Quickstart: build a small graph, decompose it into biconnected
+// components, and read off articulation points and bridges.
+//
+// The graph is the paper's Fig. 1 example, G1: a biconnected "ladder" of
+// triangles, with an extra pendant vertex attached to show a bridge.
+//
+//	run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bicc"
+)
+
+func main() {
+	// Vertices 0..5 form two stacked squares with diagonals (biconnected);
+	// vertex 6 hangs off vertex 5 by a bridge.
+	edges := []bicc.Edge{
+		{U: 0, V: 1}, // t1
+		{U: 0, V: 2}, // t3
+		{U: 1, V: 3}, // t4 side
+		{U: 2, V: 3}, // bottom of first square
+		{U: 0, V: 3}, // diagonal e1
+		{U: 2, V: 4}, // t5
+		{U: 3, V: 5}, // t6
+		{U: 4, V: 5}, // bottom of second square
+		{U: 2, V: 5}, // diagonal e2
+		{U: 5, V: 6}, // pendant bridge
+	}
+	g, err := bicc.NewGraph(7, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := bicc.BiconnectedComponents(g, nil) // nil = Auto, GOMAXPROCS
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("algorithm used: %v\n", res.Algorithm)
+	fmt.Printf("biconnected components: %d\n", res.NumComponents)
+	for k, comp := range res.Components() {
+		fmt.Printf("  block %d:", k)
+		for _, i := range comp {
+			e := g.Edges()[i]
+			fmt.Printf(" (%d,%d)", e.U, e.V)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("articulation points: %v\n", res.ArticulationPoints())
+	fmt.Printf("bridges (edge indices): %v\n", res.Bridges())
+
+	// Force a specific algorithm and inspect the paper's Fig. 4 phases.
+	res2, err := bicc.BiconnectedComponents(g, &bicc.Options{
+		Algorithm: bicc.TVFilter,
+		Procs:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTV-filter phase breakdown:")
+	for _, ph := range res2.Phases {
+		fmt.Printf("  %-22s %v\n", ph.Name, ph.Duration)
+	}
+}

@@ -1,0 +1,38 @@
+package bicc
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program and checks its key output
+// line, guaranteeing the examples stay runnable as the API evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := map[string]string{
+		"./examples/quickstart":    "biconnected components: 2",
+		"./examples/netresilience": "single points of failure",
+		"./examples/planarity":     "blocks failing the planarity bound: 1",
+		"./examples/augment":       "biconnected=true",
+	}
+	for pkg, want := range cases {
+		pkg, want := pkg, want
+		t.Run(strings.TrimPrefix(pkg, "./examples/"), func(t *testing.T) {
+			out, err := exec.Command("go", "run", pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", pkg, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("%s output missing %q:\n%s", pkg, want, out)
+			}
+		})
+	}
+	// densefilter runs a sweep over 50k-vertex graphs; keep it out of the
+	// default test budget but verify it compiles.
+	if out, err := exec.Command("go", "build", "-o", t.TempDir()+"/densefilter", "./examples/densefilter").CombinedOutput(); err != nil {
+		t.Fatalf("densefilter does not build: %v\n%s", err, out)
+	}
+}

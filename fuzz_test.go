@@ -1,0 +1,53 @@
+package bicc
+
+import (
+	"testing"
+
+	"bicc/internal/conncomp"
+)
+
+// FuzzBiconnectedComponents decodes raw bytes into a graph (2 bytes per
+// edge over up to 64 vertices) and cross-checks all four algorithms plus
+// the independent verifier. Run with `go test -fuzz FuzzBiconnected` for an
+// open-ended hunt; the seed corpus below runs in normal test mode.
+func FuzzBiconnectedComponents(f *testing.F) {
+	f.Add([]byte{0x01, 0x10, 0x21, 0x02})             // triangle-ish
+	f.Add([]byte{})                                   // empty
+	f.Add([]byte{0x01, 0x12, 0x23, 0x34, 0x45, 0x50}) // cycle
+	f.Add([]byte{0x01, 0x01, 0x11})                   // dup + self loop
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		const n = 64
+		var edges []Edge
+		for i := 0; i+1 < len(data); i += 2 {
+			u := int32(data[i] % n)
+			v := int32(data[i+1] % n)
+			edges = append(edges, Edge{U: u, V: v})
+		}
+		g, _, _, err := NewGraphNormalized(n, edges)
+		if err != nil {
+			t.Fatalf("normalization rejected in-range input: %v", err)
+		}
+		want, err := BiconnectedComponents(g, &Options{Algorithm: Sequential})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, want); err != nil {
+			t.Fatalf("sequential result fails verification: %v", err)
+		}
+		for _, a := range []Algorithm{TVSMP, TVOpt, TVFilter} {
+			got, err := BiconnectedComponents(g, &Options{Algorithm: a, Procs: 2})
+			if err != nil {
+				t.Fatalf("%v: %v", a, err)
+			}
+			if got.NumComponents != want.NumComponents {
+				t.Fatalf("%v: NumComponents=%d, want %d", a, got.NumComponents, want.NumComponents)
+			}
+			if g.NumEdges() > 0 && !conncomp.SamePartition(got.EdgeComponent, want.EdgeComponent) {
+				t.Fatalf("%v: partition differs from sequential", a)
+			}
+		}
+	})
+}

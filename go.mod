@@ -1,0 +1,3 @@
+module bicc
+
+go 1.22

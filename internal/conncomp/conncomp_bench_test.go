@@ -1,0 +1,53 @@
+package conncomp
+
+import (
+	"runtime"
+	"testing"
+
+	"bicc/internal/gen"
+	"bicc/internal/graph"
+)
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := gen.RandomConnected(100_000, 400_000, 1)
+	c := graph.ToCSR(1, g)
+	p := runtime.GOMAXPROCS(0)
+	b.Run("shiloach-vishkin/p=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ShiloachVishkin(1, g.N, g.Edges)
+		}
+	})
+	b.Run("shiloach-vishkin/p=max", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ShiloachVishkin(p, g.N, g.Edges)
+		}
+	})
+	b.Run("union-find", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			UnionFind(g.N, g.Edges)
+		}
+	})
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BFS(c)
+		}
+	})
+}
+
+// Chains maximize SV's graft-and-shortcut round count.
+func BenchmarkShiloachVishkinChain(b *testing.B) {
+	g := gen.Chain(100_000)
+	p := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		ShiloachVishkin(p, g.N, g.Edges)
+	}
+}
+
+func BenchmarkHCS(b *testing.B) {
+	g := gen.RandomConnected(100_000, 400_000, 1)
+	c := graph.ToCSR(1, g)
+	p := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		HCS(p, c)
+	}
+}

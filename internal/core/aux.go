@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bicc/internal/conncomp"
+	"bicc/internal/graph"
+	"bicc/internal/par"
+	"bicc/internal/prefix"
+	"bicc/internal/treecomp"
+)
+
+// auxGraph is the paper's G' = (V', E'): V' has one vertex per edge of G
+// (tree edge (u,p(u)) ↦ u; the j-th nontree edge ↦ n+j), and E' connects
+// edges of G related under R'c.
+type auxGraph struct {
+	n     int32        // |V'| = n + #nontree
+	edges []graph.Edge // E'
+	ntIdx []int32      // nontree edge i of G ↦ aux vertex n + ntIdx[i]
+	// condCount[k] is the number of R'c pairs contributed by condition k+1
+	// (the per-condition sizes the paper reports for Fig. 1).
+	condCount [3]int
+}
+
+// buildAux implements Algorithm 1: number the nontree edges with a prefix
+// sum, test the three R'c conditions in parallel into a 3m-slot staging
+// area (slots [0,m) for condition 1, [m,2m) for condition 2, [2m,3m) for
+// condition 3), and compact the staged edges with a prefix sum.
+//
+// Conditions (preorder comparisons, per §2):
+//  1. nontree g=(u,v) with pre(v) < pre(u) pairs g with tree edge (u,p(u)).
+//  2. nontree (u,v) with u,v unrelated pairs (u,p(u)) with (v,p(v)).
+//  3. tree edge (u, v=p(u)) with v not a root pairs (u,p(u)) with (v,p(v))
+//     iff low(u) < pre(v) or high(u) >= pre(v)+size(v).
+func buildAux(p int, edges []graph.Edge, isTree []bool, td *treecomp.TreeData, low, high []int32) *auxGraph {
+	n := td.N
+	m := len(edges)
+	// Number nontree edges by prefix sum (the paper's N array).
+	ntIdx := make([]int32, m)
+	par.For(p, m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !isTree[i] {
+				ntIdx[i] = 1
+			}
+		}
+	})
+	numNontree := prefix.ExclusiveSum32(p, ntIdx)
+	aux := &auxGraph{n: n + numNontree, ntIdx: ntIdx}
+	// Staging area L' of 3m slots.
+	staged := make([]graph.Edge, 3*m)
+	valid := make([]bool, 3*m)
+	par.For(p, m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if isTree[i] {
+				// Condition 3: child side u, parent side v = p(u).
+				u, v := e.U, e.V
+				if td.Parent[u] != v {
+					u, v = v, u
+				}
+				if !td.IsRoot(v) && (low[u] < td.Pre[v] || high[u] >= td.Pre[v]+td.Size[v]) {
+					staged[2*m+i] = graph.Edge{U: u, V: v}
+					valid[2*m+i] = true
+				}
+				continue
+			}
+			u, v := e.U, e.V
+			if td.Pre[u] < td.Pre[v] {
+				u, v = v, u // ensure pre(v) < pre(u)
+			}
+			// Condition 1: nontree edge joins the tree edge above its
+			// higher-preorder endpoint.
+			staged[i] = graph.Edge{U: u, V: n + ntIdx[i]}
+			valid[i] = true
+			// Condition 2: unrelated endpoints join their two tree edges.
+			if !td.Related(u, v) {
+				staged[m+i] = graph.Edge{U: u, V: v}
+				valid[m+i] = true
+			}
+		}
+	})
+	aux.edges = prefix.CompactInto(p, staged, func(i int) bool { return valid[i] }, make([]graph.Edge, 3*m))
+	for k := 0; k < 3; k++ {
+		aux.condCount[k] = par.CountTrue(p, m, func(i int) bool { return valid[k*m+i] })
+	}
+	return aux
+}
+
+// tvTail finishes any TV variant: build G' (Label-edge step), run
+// Shiloach–Vishkin connected components on it (Connected-components step),
+// and write raw component labels into edgeComp. sw records the two phases.
+// origID maps local edge indices to positions in edgeComp (nil means
+// identity); TV-filter uses it to overlay results computed on the reduced
+// graph onto the full edge list. Labels are raw (not densified) so callers
+// can keep translating filtered edges before calling finishResult.
+func tvTail(p int, sw *stopwatch, edges []graph.Edge, isTree []bool,
+	td *treecomp.TreeData, low, high []int32, edgeComp []int32, origID []int32) {
+	aux := buildAux(p, edges, isTree, td, low, high)
+	sw.lap(PhaseLabelEdge)
+	labels := conncomp.ShiloachVishkin(p, aux.n, aux.edges)
+	n := td.N
+	par.For(p, len(edges), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var auxID int32
+			if isTree[i] {
+				e := edges[i]
+				child := e.U
+				if td.Parent[child] != e.V {
+					child = e.V
+				}
+				auxID = child
+			} else {
+				auxID = n + aux.ntIdx[i]
+			}
+			pos := int32(i)
+			if origID != nil {
+				pos = origID[i]
+			}
+			edgeComp[pos] = labels[auxID]
+		}
+	})
+	sw.lap(PhaseConnComp)
+}
+
+// finishResult densifies the raw component labels into 0..k-1 and wraps the
+// result.
+func finishResult(edgeComp []int32, sw *stopwatch) *Result {
+	k := conncomp.Normalize(edgeComp)
+	return &Result{NumComp: k, EdgeComp: edgeComp, Phases: sw.phases}
+}

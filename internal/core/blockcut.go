@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sort"
+
+	"bicc/internal/graph"
+)
+
+// BlockCutTree is the bipartite tree (forest, for disconnected graphs)
+// whose nodes are the blocks and the cut vertices of a graph, with an edge
+// between a cut vertex and every block that contains it. It is the standard
+// structure for reasoning about single-point-of-failure containment in
+// fault-tolerant network design — the paper's motivating application.
+type BlockCutTree struct {
+	NumBlocks int
+	// Cuts lists the cut vertices; node ids are NumBlocks + index.
+	Cuts []int32
+	// BlockCuts[b] lists, ascending, the cut vertices on block b's boundary.
+	BlockCuts [][]int32
+	// CutBlocks[i] lists, ascending, the blocks containing Cuts[i].
+	CutBlocks [][]int32
+	// BlockVertices[b] lists, ascending, all vertices of block b.
+	BlockVertices [][]int32
+	// VertexBlocks[v] lists, ascending, the blocks containing vertex v
+	// (len > 1 exactly for cut vertices; empty for isolated vertices).
+	VertexBlocks [][]int32
+}
+
+// NewBlockCutTree assembles the block-cut tree from a block decomposition.
+func NewBlockCutTree(g *graph.EdgeList, edgeComp []int32, numComp int) *BlockCutTree {
+	t := &BlockCutTree{
+		NumBlocks:     numComp,
+		BlockCuts:     make([][]int32, numComp),
+		BlockVertices: make([][]int32, numComp),
+		VertexBlocks:  make([][]int32, g.N),
+	}
+	// Vertex-block incidences, deduplicated.
+	for i, e := range g.Edges {
+		c := edgeComp[i]
+		for _, v := range [2]int32{e.U, e.V} {
+			if !containsInt32(t.VertexBlocks[v], c) {
+				t.VertexBlocks[v] = append(t.VertexBlocks[v], c)
+			}
+		}
+	}
+	cutIndex := make(map[int32]int32)
+	for v := int32(0); v < g.N; v++ {
+		blocks := t.VertexBlocks[v]
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, b := range blocks {
+			t.BlockVertices[b] = append(t.BlockVertices[b], v)
+		}
+		if len(blocks) > 1 {
+			cutIndex[v] = int32(len(t.Cuts))
+			t.Cuts = append(t.Cuts, v)
+			for _, b := range blocks {
+				t.BlockCuts[b] = append(t.BlockCuts[b], v)
+			}
+		}
+	}
+	t.CutBlocks = make([][]int32, len(t.Cuts))
+	for i, v := range t.Cuts {
+		t.CutBlocks[i] = t.VertexBlocks[v]
+	}
+	return t
+}
+
+func containsInt32(xs []int32, v int32) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumNodes returns the number of tree nodes (blocks + cut vertices).
+func (t *BlockCutTree) NumNodes() int { return t.NumBlocks + len(t.Cuts) }
+
+// NumTreeEdges returns the number of block–cut incidence edges.
+func (t *BlockCutTree) NumTreeEdges() int {
+	n := 0
+	for _, cs := range t.BlockCuts {
+		n += len(cs)
+	}
+	return n
+}
+
+// LeafBlocks returns the blocks incident to at most one cut vertex — the
+// periphery of the tree. In network-augmentation heuristics, pairing leaf
+// blocks is the standard way to reduce the number of cut vertices.
+func (t *BlockCutTree) LeafBlocks() []int32 {
+	var leaves []int32
+	for b := 0; b < t.NumBlocks; b++ {
+		if len(t.BlockCuts[b]) <= 1 {
+			leaves = append(leaves, int32(b))
+		}
+	}
+	return leaves
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"bicc/internal/eulertour"
+	"bicc/internal/graph"
+	"bicc/internal/par"
+	"bicc/internal/prefix"
+	"bicc/internal/spantree"
+	"bicc/internal/treecomp"
+)
+
+// SpanningTreeKind selects step 1 of the TV pipeline.
+type SpanningTreeKind int
+
+const (
+	// SpanSV is the Shiloach–Vishkin-derived unrooted spanning tree of the
+	// original TV (forces the sort-based Euler tour and list ranking).
+	SpanSV SpanningTreeKind = iota
+	// SpanWorkStealing is the Bader–Cong rooted traversal (TV-opt).
+	SpanWorkStealing
+	// SpanBFS is the level-synchronous BFS tree (required by TV-filter).
+	SpanBFS
+)
+
+// RankerKind selects the list-ranking algorithm for the sort-based tour.
+type RankerKind int
+
+const (
+	// RankHelmanJaja is the sublist-based O(n) ranker.
+	RankHelmanJaja RankerKind = iota
+	// RankWyllie is O(n log n) pointer jumping.
+	RankWyllie
+)
+
+// LowHighKind selects the subtree-aggregation engine for step 4.
+type LowHighKind int
+
+const (
+	// LowHighRMQ answers subtree folds with a blocked sparse-table RMQ
+	// over the preorder array.
+	LowHighRMQ LowHighKind = iota
+	// LowHighBottomUp sweeps levels rootward; O(height) rounds.
+	LowHighBottomUp
+)
+
+// Config assembles a TV pipeline from interchangeable engines. The presets
+// are: TV-SMP = {SpanSV, RankHelmanJaja, LowHighRMQ, no filter}; TV-opt =
+// {SpanWorkStealing, LowHighRMQ, no filter}; TV-filter = {SpanBFS,
+// LowHighRMQ, filter}.
+type Config struct {
+	SpanningTree SpanningTreeKind
+	Ranker       RankerKind // used only with SpanSV
+	LowHigh      LowHighKind
+	// Filter enables the §4 edge filtering. It requires SpanBFS: the
+	// correctness lemmas (Lemma 1/2, Theorem 2) hold only for BFS trees.
+	Filter bool
+	// ParallelTour selects the computed (level-sweep) Euler tour of Cong &
+	// Bader's technique paper [6] instead of the sequential DFS emission;
+	// both produce identical sequences. Only meaningful for rooted
+	// spanning trees (ignored with SpanSV).
+	ParallelTour bool
+}
+
+// Custom runs the TV pipeline described by cfg with p workers.
+func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
+	if cfg.Filter && cfg.SpanningTree != SpanBFS {
+		return nil, fmt.Errorf("core: edge filtering requires a BFS spanning tree (paper Lemma 1)")
+	}
+	p = par.Procs(p)
+	sw := newStopwatch()
+	// Step 1 (+3 for rooted variants): spanning tree.
+	var (
+		td         *treecomp.TreeData
+		isTree     []bool
+		rooted     *spantree.RootedForest
+		linkedTour *eulertour.Tour
+		seq        *eulertour.ArcSeq
+		err        error
+		mGlobal    = len(g.Edges)
+	)
+	switch cfg.SpanningTree {
+	case SpanSV:
+		f := spantree.SV(p, g.N, g.Edges)
+		roots := rootsFromLabels(f.Labels)
+		isTree = f.Mark(p, mGlobal)
+		sw.lap(PhaseSpanningTree)
+		linkedTour, err = eulertour.FromForest(p, g.N, g.Edges, f.TreeEdges, roots)
+		if err != nil {
+			return nil, err
+		}
+		sw.lap(PhaseEulerTour)
+	case SpanWorkStealing, SpanBFS:
+		c := graph.ToCSR(p, g)
+		if cfg.SpanningTree == SpanWorkStealing {
+			rooted = spantree.WorkStealing(p, c)
+		} else {
+			rooted = spantree.BFS(p, c)
+		}
+		isTree = rooted.TreeEdgeMark(p, mGlobal)
+		sw.lap(PhaseSpanningTree)
+	default:
+		return nil, fmt.Errorf("core: unknown spanning tree kind %d", cfg.SpanningTree)
+	}
+
+	// Optional filtering (between tree construction and the tour, as in
+	// Alg. 2).
+	edges := g.Edges
+	edgeIsTree := isTree
+	var origID []int32 // reduced -> global edge ids
+	var keep []bool
+	if cfg.Filter {
+		edges, edgeIsTree, origID, keep = filterNonEssential(p, g, rooted, isTree)
+		sw.lap(PhaseFiltering)
+	}
+
+	// Step 2 for the rooted variants: tour in traversal order.
+	if rooted != nil {
+		if cfg.ParallelTour {
+			seq = eulertour.DFSOrderParallel(p, g.Edges, rooted)
+		} else {
+			seq = eulertour.DFSOrder(p, g.Edges, rooted)
+		}
+		sw.lap(PhaseEulerTour)
+	}
+	// Step 3: tree computations. For the SV path this is where the list
+	// ranking runs, which is the paper's "root" cost.
+	if linkedTour != nil {
+		seq, err = eulertour.Sequence(p, linkedTour, cfg.Ranker == RankHelmanJaja)
+		if err != nil {
+			return nil, err
+		}
+	}
+	td, err = treecomp.Compute(p, seq)
+	if err != nil {
+		return nil, err
+	}
+	sw.lap(PhaseRoot)
+
+	// Step 4: low/high.
+	var low, high []int32
+	if cfg.LowHigh == LowHighBottomUp {
+		low, high = treecomp.LowHighBottomUp(p, td, edges, edgeIsTree)
+	} else {
+		low, high = treecomp.LowHigh(p, td, edges, edgeIsTree)
+	}
+	sw.lap(PhaseLowHigh)
+
+	// Steps 5–6 plus the filtered-edge relabeling.
+	edgeComp := make([]int32, mGlobal)
+	tvTail(p, sw, edges, edgeIsTree, td, low, high, edgeComp, origID)
+	if cfg.Filter {
+		par.For(p, mGlobal, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if keep[i] {
+					continue
+				}
+				e := g.Edges[i]
+				u := e.U
+				if td.Pre[e.V] > td.Pre[u] {
+					u = e.V
+				}
+				edgeComp[i] = edgeComp[rooted.ParentEdge[u]]
+			}
+		})
+		sw.lap(PhaseFiltering)
+	}
+	return finishResult(edgeComp, sw), nil
+}
+
+// filterNonEssential implements steps 1–2 of Alg. 2 given the BFS tree:
+// compute a spanning forest F of G−T and keep only T ∪ F. It returns the
+// reduced edge list, its tree mask, the reduced→global id map, and the
+// global keep mask.
+func filterNonEssential(p int, g *graph.EdgeList, t *spantree.RootedForest, inT []bool) (
+	reduced []graph.Edge, reducedIsTree []bool, origID []int32, keep []bool) {
+	m := len(g.Edges)
+	nontreeIDs := prefix.Compact(p, m, func(i int) bool { return !inT[i] })
+	nontreeEdges := make([]graph.Edge, len(nontreeIDs))
+	par.For(p, len(nontreeIDs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nontreeEdges[i] = g.Edges[nontreeIDs[i]]
+		}
+	})
+	ff := spantree.SV(p, g.N, nontreeEdges)
+	keep = make([]bool, m)
+	par.For(p, m, func(lo, hi int) {
+		copy(keep[lo:hi], inT[lo:hi])
+	})
+	par.For(p, len(ff.TreeEdges), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keep[nontreeIDs[ff.TreeEdges[i]]] = true
+		}
+	})
+	origID = prefix.Compact(p, m, func(i int) bool { return keep[i] })
+	reduced = make([]graph.Edge, len(origID))
+	reducedIsTree = make([]bool, len(origID))
+	par.For(p, len(origID), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			reduced[i] = g.Edges[origID[i]]
+			reducedIsTree[i] = inT[origID[i]]
+		}
+	})
+	return reduced, reducedIsTree, origID, keep
+}

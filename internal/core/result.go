@@ -1,0 +1,132 @@
+// Package core implements the paper's biconnected components algorithms:
+// the sequential Hopcroft–Tarjan baseline ("Sequential" in Fig. 3), the
+// direct SMP emulation of Tarjan–Vishkin (TV-SMP, §3.1), the optimized
+// adaptation (TV-opt, §3.2), and the new edge-filtering algorithm
+// (TV-filter, §4 / Alg. 2), plus the auxiliary-graph construction of
+// Alg. 1 shared by all TV variants.
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bicc/internal/graph"
+	"bicc/internal/par"
+	"bicc/internal/prefix"
+)
+
+// Phase names matching the Fig. 4 breakdown.
+const (
+	PhaseSpanningTree = "spanning-tree"
+	PhaseEulerTour    = "euler-tour"
+	PhaseRoot         = "root"
+	PhaseLowHigh      = "low-high"
+	PhaseLabelEdge    = "label-edge"
+	PhaseConnComp     = "connected-components"
+	PhaseFiltering    = "filtering"
+)
+
+// PhaseOrder is the canonical ordering of phases for breakdown reports.
+var PhaseOrder = []string{
+	PhaseSpanningTree, PhaseEulerTour, PhaseRoot,
+	PhaseLowHigh, PhaseLabelEdge, PhaseConnComp, PhaseFiltering,
+}
+
+// Phase is one timed step of an algorithm run.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Result is the biconnected components decomposition of a graph.
+type Result struct {
+	// NumComp is the number of biconnected components (blocks). Every edge
+	// belongs to exactly one; a bridge forms a singleton block.
+	NumComp int
+	// EdgeComp[i] is the dense block id (0..NumComp-1) of edge i.
+	EdgeComp []int32
+	// Phases is the per-step timing breakdown (Fig. 4), in execution order.
+	Phases []Phase
+}
+
+// PhaseDuration returns the total duration recorded under name.
+func (r *Result) PhaseDuration(name string) time.Duration {
+	var d time.Duration
+	for _, ph := range r.Phases {
+		if ph.Name == name {
+			d += ph.Duration
+		}
+	}
+	return d
+}
+
+// Total returns the sum of all phase durations.
+func (r *Result) Total() time.Duration {
+	var d time.Duration
+	for _, ph := range r.Phases {
+		d += ph.Duration
+	}
+	return d
+}
+
+// stopwatch accumulates named phases.
+type stopwatch struct {
+	phases []Phase
+	last   time.Time
+}
+
+func newStopwatch() *stopwatch { return &stopwatch{last: time.Now()} }
+
+// lap records the time since the previous lap (or construction) under name.
+func (s *stopwatch) lap(name string) {
+	now := time.Now()
+	s.phases = append(s.phases, Phase{Name: name, Duration: now.Sub(s.last)})
+	s.last = now
+}
+
+// Articulation returns the articulation points (cut vertices) implied by a
+// block decomposition: a vertex is an articulation point exactly when its
+// incident edges fall into at least two distinct blocks. The scan over
+// edges runs on GOMAXPROCS workers; any-writer-wins races on the per-vertex
+// "first block seen" slot are resolved with CAS, and a disagreeing second
+// writer marks the vertex as a cut.
+func Articulation(g *graph.EdgeList, edgeComp []int32) []int32 {
+	p := par.Procs(0)
+	first := make([]int32, g.N) // first block seen per vertex, -1 none
+	multi := make([]int32, g.N) // 0/1 flag, written racily (idempotent)
+	par.For(p, int(g.N), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			first[i] = -1
+		}
+	})
+	par.ForDynamic(p, len(g.Edges), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := g.Edges[i]
+			c := edgeComp[i]
+			for _, v := range [2]int32{e.U, e.V} {
+				cur := atomic.LoadInt32(&first[v])
+				if cur == -1 && atomic.CompareAndSwapInt32(&first[v], -1, c) {
+					continue
+				}
+				if atomic.LoadInt32(&first[v]) != c {
+					atomic.StoreInt32(&multi[v], 1)
+				}
+			}
+		}
+	})
+	cutIdx := prefix.Compact(p, int(g.N), func(v int) bool { return multi[v] != 0 })
+	return cutIdx
+}
+
+// Bridges returns the indices of bridge edges: edges whose block contains
+// exactly one edge.
+func Bridges(g *graph.EdgeList, edgeComp []int32, numComp int) []int32 {
+	p := par.Procs(0)
+	count := make([]int32, numComp)
+	par.ForDynamic(p, len(edgeComp), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&count[edgeComp[i]], 1)
+		}
+	})
+	return prefix.Compact(p, len(edgeComp), func(i int) bool { return count[edgeComp[i]] == 1 })
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bicc/internal/graph"
+)
+
+// TVSMP is the coarse-grained SMP emulation of the original Tarjan–Vishkin
+// algorithm (§3.1). It follows TV's six steps literally:
+//
+//  1. Spanning-tree via the Shiloach–Vishkin-derived algorithm (unrooted).
+//  2. Euler-tour via sample-sorted circular adjacency lists.
+//  3. Root-tree / tree computations via Helman–JáJá list ranking on the
+//     linked tour.
+//  4. Low-high.
+//  5. Label-edge (Alg. 1).
+//  6. Connected-components of G' via Shiloach–Vishkin.
+//
+// It is the baseline whose parallel overheads the paper measures: the sort
+// in step 2 and the list ranking in step 3 are the costs TV-opt removes.
+func TVSMP(p int, g *graph.EdgeList) (*Result, error) {
+	return Custom(p, g, Config{SpanningTree: SpanSV, Ranker: RankHelmanJaja})
+}
+
+// TVSMPWyllie is TVSMP with Wyllie pointer jumping instead of Helman–JáJá
+// list ranking — the ablation knob isolating the tree-computation cost.
+func TVSMPWyllie(p int, g *graph.EdgeList) (*Result, error) {
+	return Custom(p, g, Config{SpanningTree: SpanSV, Ranker: RankWyllie})
+}
+
+// TVOpt is the optimized SMP adaptation (§3.2): the Spanning-tree and
+// Root-tree steps are merged by the work-stealing traversal that computes a
+// rooted tree directly, the Euler tour is built cache-friendly in DFS order,
+// and the tree computations use prefix sums over arrays instead of list
+// ranking. Steps 4–6 are shared with TV-SMP.
+func TVOpt(p int, g *graph.EdgeList) (*Result, error) {
+	return Custom(p, g, Config{SpanningTree: SpanWorkStealing})
+}
+
+// rootsFromLabels extracts one representative vertex per component from the
+// SV label array (representatives satisfy Labels[v] == v).
+func rootsFromLabels(labels []int32) []int32 {
+	idx := make([]int32, 0, 16)
+	for v, l := range labels {
+		if l == int32(v) {
+			idx = append(idx, int32(v))
+		}
+	}
+	return idx
+}

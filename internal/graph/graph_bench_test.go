@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// The representation-conversion cost the paper charges against composing
+// primitives with mismatched input formats (§1).
+func BenchmarkToCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 100_000, 400_000)
+	b.Run("p=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ToCSR(1, g)
+		}
+	})
+	b.Run("p=max", func(b *testing.B) {
+		p := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			ToCSR(p, g)
+		}
+	})
+}
+
+func BenchmarkMatrixToEdgeList(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 1800, 1800*1799/2*7/10)
+	m, err := MatrixFromEdgeList(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		m.ToEdgeList()
+	}
+}

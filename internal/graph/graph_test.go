@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func triangle() *EdgeList {
+	return &EdgeList{N: 3, Edges: []Edge{{0, 1}, {1, 2}, {2, 0}}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := triangle().Validate(); err != nil {
+		t.Errorf("valid triangle rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		g    *EdgeList
+	}{
+		{"negative n", &EdgeList{N: -1}},
+		{"endpoint too big", &EdgeList{N: 2, Edges: []Edge{{0, 2}}}},
+		{"negative endpoint", &EdgeList{N: 2, Edges: []Edge{{-1, 1}}}},
+		{"self loop", &EdgeList{N: 2, Edges: []Edge{{1, 1}}}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid graph", c.name)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	g := &EdgeList{N: 4, Edges: []Edge{{0, 1}, {1, 0}, {2, 2}, {1, 2}, {0, 1}, {3, 0}}}
+	out, loops, dups := g.Normalize()
+	if loops != 1 {
+		t.Errorf("loops=%d, want 1", loops)
+	}
+	if dups != 2 {
+		t.Errorf("dups=%d, want 2", dups)
+	}
+	want := []Edge{{0, 1}, {1, 2}, {3, 0}}
+	if len(out.Edges) != len(want) {
+		t.Fatalf("normalized edges=%v, want %v", out.Edges, want)
+	}
+	for i := range want {
+		if out.Edges[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, out.Edges[i], want[i])
+		}
+	}
+}
+
+func TestCanonKeySymmetric(t *testing.T) {
+	f := func(u, v int32) bool { return CanonKey(u, v) == CanonKey(v, u) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *EdgeList {
+	g := &EdgeList{N: int32(n)}
+	seen := map[uint64]struct{}{}
+	for len(g.Edges) < m {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		k := CanonKey(u, v)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		g.Edges = append(g.Edges, Edge{u, v})
+	}
+	return g
+}
+
+func csrInvariants(t *testing.T, g *EdgeList, c *CSR) {
+	t.Helper()
+	n, m := int(g.N), len(g.Edges)
+	if len(c.Off) != n+1 || c.Off[0] != 0 || int(c.Off[n]) != 2*m {
+		t.Fatalf("bad offsets: len=%d first=%d last=%d (n=%d m=%d)", len(c.Off), c.Off[0], c.Off[n], n, m)
+	}
+	for v := 0; v < n; v++ {
+		if c.Off[v] > c.Off[v+1] {
+			t.Fatalf("offsets not monotone at %d", v)
+		}
+	}
+	// Each arc must correspond to its edge id's endpoints.
+	arcCount := make([]int, m)
+	for v := int32(0); v < c.N; v++ {
+		for i := c.Off[v]; i < c.Off[v+1]; i++ {
+			w := c.Adj[i]
+			id := c.EdgeID[i]
+			e := g.Edges[id]
+			if !((e.U == v && e.V == w) || (e.V == v && e.U == w)) {
+				t.Fatalf("arc (%d,%d) claims edge %d = %v", v, w, id, e)
+			}
+			arcCount[id]++
+		}
+	}
+	for id, cnt := range arcCount {
+		if cnt != 2 {
+			t.Fatalf("edge %d appears as %d arcs, want 2", id, cnt)
+		}
+	}
+}
+
+func TestToCSRSmall(t *testing.T) {
+	g := triangle()
+	c := ToCSR(1, g)
+	csrInvariants(t, g, c)
+	if c.Degree(0) != 2 || c.Degree(1) != 2 || c.Degree(2) != 2 {
+		t.Errorf("triangle degrees = %d,%d,%d, want 2,2,2", c.Degree(0), c.Degree(1), c.Degree(2))
+	}
+}
+
+func TestToCSRParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Large enough to trigger both parallel histogram and parallel scatter.
+	g := randomGraph(rng, 2000, 1<<17)
+	c1 := ToCSR(1, g)
+	c4 := ToCSR(4, g)
+	csrInvariants(t, g, c1)
+	csrInvariants(t, g, c4)
+	for v := 0; v <= int(g.N); v++ {
+		if c1.Off[v] != c4.Off[v] {
+			t.Fatalf("offset mismatch at %d: %d vs %d", v, c1.Off[v], c4.Off[v])
+		}
+	}
+	// Adjacency order may differ between schedules; compare as multisets
+	// per vertex.
+	for v := int32(0); v < g.N; v++ {
+		a := append([]int32(nil), c1.Neighbors(v)...)
+		b := append([]int32(nil), c4.Neighbors(v)...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestToCSREmptyAndIsolated(t *testing.T) {
+	g := &EdgeList{N: 5} // 5 isolated vertices
+	c := ToCSR(2, g)
+	csrInvariants(t, g, c)
+	for v := int32(0); v < 5; v++ {
+		if c.Degree(v) != 0 {
+			t.Errorf("isolated vertex %d has degree %d", v, c.Degree(v))
+		}
+	}
+	g0 := &EdgeList{N: 0}
+	c0 := ToCSR(2, g0)
+	if len(c0.Adj) != 0 || len(c0.Off) != 1 {
+		t.Errorf("empty graph CSR: %+v", c0)
+	}
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 100, 300)
+	back := FromCSR(ToCSR(2, g))
+	if back.N != g.N || len(back.Edges) != len(g.Edges) {
+		t.Fatalf("round trip size mismatch")
+	}
+	for i := range g.Edges {
+		a, b := g.Edges[i], back.Edges[i]
+		if CanonKey(a.U, a.V) != CanonKey(b.U, b.V) {
+			t.Fatalf("edge %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomGraph(rng, 50, 120)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != g.N || len(got.Edges) != len(g.Edges) {
+		t.Fatalf("round trip mismatch: n=%d m=%d", got.N, len(got.Edges))
+	}
+	for i := range g.Edges {
+		if got.Edges[i] != g.Edges[i] {
+			t.Fatalf("edge %d: %v vs %v", i, got.Edges[i], g.Edges[i])
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "q 3 2\n0 1\n1 2\n"},
+		{"edge count mismatch", "p 3 2\n0 1\n"},
+		{"non-integer", "p 3 1\n0 x\n"},
+		{"too many fields", "p 3 1\n0 1 2\n"},
+		{"out of range", "p 3 1\n0 3\n"},
+		{"self loop", "p 3 1\n1 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: Read accepted malformed input", c.name)
+		}
+	}
+}
+
+func TestReadAllowsCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\np 3 1\n# another\n0 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || len(g.Edges) != 1 || g.Edges[0] != (Edge{0, 2}) {
+		t.Errorf("parsed %+v", g)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := triangle()
+	c := g.Clone()
+	c.Edges[0].U = 99
+	if g.Edges[0].U == 99 {
+		t.Error("Clone shares edge storage")
+	}
+}
+
+func TestCSRM(t *testing.T) {
+	g := triangle()
+	if got := ToCSR(1, g).M(); got != 3 {
+		t.Errorf("M=%d, want 3", got)
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is a minimal text format compatible with common edge
+// list tools:
+//
+//	# comment lines start with '#'
+//	p <n> <m>
+//	<u> <v>          (m lines, 0-based endpoints)
+//
+// Write emits it and Read parses it, validating as it goes.
+
+// Write serializes g to w.
+func Write(w io.Writer, g *EdgeList) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 24)
+	for _, e := range g.Edges {
+		buf = strconv.AppendInt(buf[:0], int64(e.U), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(e.V), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text edge-list format and validates the result.
+func Read(r io.Reader) (*EdgeList, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var g *EdgeList
+	var declared int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if g == nil {
+			var n, m int
+			if _, err := fmt.Sscanf(text, "p %d %d", &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: line %d: expected header %q, got %q", line, "p <n> <m>", text)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative sizes in header", line)
+			}
+			g = &EdgeList{N: int32(n), Edges: make([]Edge, 0, m)}
+			declared = m
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected %q, got %q", line, "<u> <v>", text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		g.Edges = append(g.Edges, Edge{U: int32(u), V: int32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if len(g.Edges) != declared {
+		return nil, fmt.Errorf("graph: header declares %d edges, found %d", declared, len(g.Edges))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,11 @@
+package graph
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errFail }
+
+type failErr string
+
+func (e failErr) Error() string { return string(e) }
+
+var errFail = failErr("forced write failure")

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Matrix is a dense adjacency-matrix representation (one bit per vertex
+// pair). Woo and Sahni's hypercube study of Tarjan–Vishkin used this
+// representation, which is why their inputs were "limited to less than
+// 2,000 vertices" (§1): Θ(n²) bits swamp memory long before the paper's
+// sparse 1M-vertex instances. It is provided so the representation
+// trade-off is measurable (BenchmarkAblationRepresentation), not as a
+// recommended input format.
+type Matrix struct {
+	N    int32
+	bits []uint64 // row-major upper+lower triangular bitset, n words per row
+	rowW int      // words per row
+}
+
+// NewMatrix returns an empty adjacency matrix for n vertices. It refuses
+// absurd sizes (> 1<<17 vertices would allocate > 2 GiB).
+func NewMatrix(n int32) (*Matrix, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if n > 1<<17 {
+		return nil, fmt.Errorf("graph: adjacency matrix for %d vertices needs %d MiB; use the edge list", n, int64(n)*int64(n)/8/(1<<20))
+	}
+	rowW := (int(n) + 63) / 64
+	return &Matrix{N: n, bits: make([]uint64, int(n)*rowW), rowW: rowW}, nil
+}
+
+// MatrixFromEdgeList converts an edge list to the dense representation.
+func MatrixFromEdgeList(g *EdgeList) (*Matrix, error) {
+	m, err := NewMatrix(g.N)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range g.Edges {
+		m.Set(e.U, e.V)
+	}
+	return m, nil
+}
+
+// Set adds the undirected edge {u, v}.
+func (m *Matrix) Set(u, v int32) {
+	m.bits[int(u)*m.rowW+int(v)/64] |= 1 << (uint(v) % 64)
+	m.bits[int(v)*m.rowW+int(u)/64] |= 1 << (uint(u) % 64)
+}
+
+// Has reports whether {u, v} is an edge.
+func (m *Matrix) Has(u, v int32) bool {
+	return m.bits[int(u)*m.rowW+int(v)/64]&(1<<(uint(v)%64)) != 0
+}
+
+// Degree counts v's neighbors by popcount over its row.
+func (m *Matrix) Degree(v int32) int {
+	row := m.bits[int(v)*m.rowW : (int(v)+1)*m.rowW]
+	d := 0
+	for _, w := range row {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
+
+// M returns the number of undirected edges.
+func (m *Matrix) M() int {
+	total := 0
+	for v := int32(0); v < m.N; v++ {
+		total += m.Degree(v)
+	}
+	return total / 2
+}
+
+// ToEdgeList enumerates the edges (u < v) in row order — the conversion
+// cost a matrix-based implementation pays before using edge-list
+// primitives.
+func (m *Matrix) ToEdgeList() *EdgeList {
+	g := &EdgeList{N: m.N}
+	for u := int32(0); u < m.N; u++ {
+		row := m.bits[int(u)*m.rowW : (int(u)+1)*m.rowW]
+		for wi, w := range row {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << uint(b)
+				v := int32(wi*64 + b)
+				if v > u {
+					g.Edges = append(g.Edges, Edge{U: u, V: v})
+				}
+			}
+		}
+	}
+	return g
+}
+
+// MemoryBytes returns the matrix's storage footprint.
+func (m *Matrix) MemoryBytes() int64 { return int64(len(m.bits)) * 8 }

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m, err := NewMatrix(70) // spans two words per row
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(0, 69)
+	m.Set(3, 5)
+	if !m.Has(0, 69) || !m.Has(69, 0) {
+		t.Error("symmetric Has failed")
+	}
+	if m.Has(0, 5) {
+		t.Error("phantom edge")
+	}
+	if m.Degree(0) != 1 || m.Degree(69) != 1 || m.Degree(3) != 1 {
+		t.Errorf("degrees: %d %d %d", m.Degree(0), m.Degree(69), m.Degree(3))
+	}
+	if m.M() != 2 {
+		t.Errorf("M=%d, want 2", m.M())
+	}
+}
+
+func TestMatrixRejects(t *testing.T) {
+	if _, err := NewMatrix(-1); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewMatrix(1 << 20); err == nil {
+		t.Error("huge matrix accepted")
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomGraph(rng, 200, 800)
+	m, err := MatrixFromEdgeList(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.M() != len(g.Edges) {
+		t.Fatalf("matrix M=%d, want %d", m.M(), len(g.Edges))
+	}
+	back := m.ToEdgeList()
+	if len(back.Edges) != len(g.Edges) {
+		t.Fatalf("round trip m=%d, want %d", len(back.Edges), len(g.Edges))
+	}
+	// Same edge set (order differs).
+	seen := map[uint64]bool{}
+	for _, e := range g.Edges {
+		seen[CanonKey(e.U, e.V)] = true
+	}
+	for _, e := range back.Edges {
+		if !seen[CanonKey(e.U, e.V)] {
+			t.Fatalf("edge (%d,%d) not in original", e.U, e.V)
+		}
+	}
+	for _, e := range back.Edges {
+		if e.U >= e.V {
+			t.Fatalf("ToEdgeList emitted non-canonical edge (%d,%d)", e.U, e.V)
+		}
+	}
+}
+
+func TestMatrixMemoryExplainsWooSahniLimit(t *testing.T) {
+	// The paper notes Woo–Sahni's matrix inputs stayed under 2,000 vertices.
+	m2k, err := NewMatrix(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2k.MemoryBytes() > 1<<20 {
+		t.Errorf("2k-vertex matrix uses %d bytes; expected under 1 MiB", m2k.MemoryBytes())
+	}
+	// The paper's 1M-vertex instances are simply impossible in this
+	// representation (the constructor refuses).
+	if _, err := NewMatrix(1_000_000); err == nil {
+		t.Error("1M-vertex matrix should be refused")
+	}
+}

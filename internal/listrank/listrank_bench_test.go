@@ -1,0 +1,42 @@
+package listrank
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// The paper's TV-SMP cost center: ranking a list with no locality. The
+// Wyllie/Helman–JáJá gap here explains the Fig. 4 tree-computation bars.
+func BenchmarkRanks(b *testing.B) {
+	const n = 1 << 18
+	rng := rand.New(rand.NewSource(1))
+	next, head, _ := randomList(rng, n)
+	p := runtime.GOMAXPROCS(0)
+	b.Run("wyllie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Ranks(p, next, head)
+		}
+	})
+	b.Run("helman-jaja", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RanksHJ(p, next, head); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSuffixSum(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(2))
+	next, _, _ := randomList(rng, n)
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(rng.Intn(10))
+	}
+	p := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		SuffixSum(p, next, vals)
+	}
+}

@@ -1,0 +1,78 @@
+package par
+
+import "sync"
+
+// Deque is a work-stealing deque of int32 work items (vertex ids in the
+// Bader–Cong spanning-tree traversal). The owner pushes and pops at the
+// bottom; thieves steal from the top. This implementation uses a mutex per
+// deque rather than the Chase–Lev lock-free protocol: steals are rare in the
+// traversal workload (a thief takes half the victim's work at once), so the
+// lock is uncontended in the common path and the code stays obviously
+// correct under the Go memory model.
+type Deque struct {
+	mu    sync.Mutex
+	items []int32
+}
+
+// NewDeque returns a deque with the given initial capacity.
+func NewDeque(capacity int) *Deque {
+	return &Deque{items: make([]int32, 0, capacity)}
+}
+
+// Push adds an item at the bottom (owner side).
+func (d *Deque) Push(v int32) {
+	d.mu.Lock()
+	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// PushAll adds a batch of items at the bottom.
+func (d *Deque) PushAll(vs []int32) {
+	if len(vs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.items = append(d.items, vs...)
+	d.mu.Unlock()
+}
+
+// Pop removes and returns the bottom item. ok is false when empty.
+func (d *Deque) Pop() (v int32, ok bool) {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return 0, false
+	}
+	v = d.items[n-1]
+	d.items = d.items[:n-1]
+	d.mu.Unlock()
+	return v, true
+}
+
+// StealHalf removes up to half of the victim's items from the top and
+// returns them. It returns nil when there is nothing to steal. Taking half
+// rather than one item amortizes steal overhead, the strategy used by the
+// Bader–Cong work-stealing graph traversal.
+func (d *Deque) StealHalf(buf []int32) []int32 {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	k := (n + 1) / 2
+	buf = append(buf[:0], d.items[:k]...)
+	copy(d.items, d.items[k:])
+	d.items = d.items[:n-k]
+	d.mu.Unlock()
+	return buf
+}
+
+// Len reports the current number of items (racy snapshot, for heuristics).
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	n := len(d.items)
+	d.mu.Unlock()
+	return n
+}

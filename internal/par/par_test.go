@@ -1,0 +1,394 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcs(t *testing.T) {
+	if got := Procs(3); got != 3 {
+		t.Errorf("Procs(3) = %d, want 3", got)
+	}
+	if got := Procs(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Procs(0) = %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Procs(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Procs(-5) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestBlockCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 101} {
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			prev := 0
+			for i := 0; i < p; i++ {
+				lo, hi := Block(n, p, i)
+				if lo != prev {
+					t.Fatalf("n=%d p=%d i=%d: lo=%d, want %d (contiguity)", n, p, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d p=%d i=%d: hi=%d < lo=%d", n, p, i, hi, lo)
+				}
+				if hi-lo > n/p+1 {
+					t.Fatalf("n=%d p=%d i=%d: block size %d exceeds n/p+1", n, p, i, hi-lo)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d p=%d: blocks cover [0,%d), want [0,%d)", n, p, prev, n)
+			}
+		}
+	}
+}
+
+func TestBlockBalanced(t *testing.T) {
+	// Block sizes must differ by at most one.
+	n, p := 103, 7
+	minSz, maxSz := n, 0
+	for i := 0; i < p; i++ {
+		lo, hi := Block(n, p, i)
+		sz := hi - lo
+		if sz < minSz {
+			minSz = sz
+		}
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz-minSz > 1 {
+		t.Errorf("block sizes range [%d,%d]; want difference <= 1", minSz, maxSz)
+	}
+}
+
+func TestForVisitsEachIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 9} {
+		n := 1000
+		visits := make([]int32, n)
+		For(p, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("p=%d: index %d visited %d times", p, i, v)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSmall(t *testing.T) {
+	called := false
+	For(4, 0, func(lo, hi int) { called = true })
+	if called {
+		t.Error("For with n=0 should not invoke body")
+	}
+	count := 0
+	For(8, 1, func(lo, hi int) { count += hi - lo })
+	if count != 1 {
+		t.Errorf("For with n=1 covered %d items, want 1", count)
+	}
+}
+
+func TestForWorkerIDsDistinct(t *testing.T) {
+	p, n := 4, 100
+	seen := make([]int32, p)
+	ForWorker(p, n, func(w, lo, hi int) {
+		atomic.AddInt32(&seen[w], 1)
+	})
+	total := int32(0)
+	for _, s := range seen {
+		if s > 1 {
+			t.Errorf("worker invoked %d times, want at most 1", s)
+		}
+		total += s
+	}
+	if total == 0 {
+		t.Error("no worker invoked")
+	}
+}
+
+func TestForDynamicCoversAll(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		for _, grain := range []int{0, 1, 17, 5000} {
+			n := 2345
+			visits := make([]int32, n)
+			ForDynamic(p, n, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("p=%d grain=%d: index %d visited %d times", p, grain, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	p := 5
+	seen := make([]int32, p)
+	Run(p, func(w int) { atomic.AddInt32(&seen[w], 1) })
+	for w, s := range seen {
+		if s != 1 {
+			t.Errorf("worker %d ran %d times, want 1", w, s)
+		}
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	const parties = 4
+	const rounds = 50
+	b := NewBarrier(parties)
+	var counter atomic.Int64
+	Run(parties, func(w int) {
+		for r := 0; r < rounds; r++ {
+			counter.Add(1)
+			b.Wait()
+			// After the barrier every party must observe all increments of
+			// this round.
+			if got := counter.Load(); got < int64((r+1)*parties) {
+				t.Errorf("round %d: counter=%d, want >= %d", r, got, (r+1)*parties)
+			}
+			b.Wait()
+		}
+	})
+	if got := counter.Load(); got != int64(rounds*parties) {
+		t.Errorf("counter=%d, want %d", got, rounds*parties)
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		b.Wait() // must never block
+	}
+}
+
+func TestReduceInt64Sum(t *testing.T) {
+	n := 10000
+	want := int64(n) * int64(n-1) / 2
+	for _, p := range []int{1, 2, 4, 7} {
+		got := ReduceInt64(p, n, 0, func(i int) int64 { return int64(i) },
+			func(a, b int64) int64 { return a + b })
+		if got != want {
+			t.Errorf("p=%d: sum=%d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestReduceInt64Empty(t *testing.T) {
+	got := ReduceInt64(4, 0, -99, func(i int) int64 { return 0 },
+		func(a, b int64) int64 { return a + b })
+	if got != -99 {
+		t.Errorf("empty reduce = %d, want identity -99", got)
+	}
+}
+
+func TestMaxInt32(t *testing.T) {
+	xs := []int32{3, -7, 42, 0, 41}
+	got := MaxInt32(3, len(xs), -1<<31, func(i int) int32 { return xs[i] })
+	if got != 42 {
+		t.Errorf("MaxInt32 = %d, want 42", got)
+	}
+}
+
+func TestCountTrue(t *testing.T) {
+	n := 1000
+	got := CountTrue(4, n, func(i int) bool { return i%3 == 0 })
+	want := (n + 2) / 3
+	if got != want {
+		t.Errorf("CountTrue = %d, want %d", got, want)
+	}
+}
+
+func TestWorkerOfInvertsBlock(t *testing.T) {
+	check := func(n, p uint8) bool {
+		nn, pp := int(n%200)+1, int(p%16)+1
+		if pp > nn {
+			pp = nn
+		}
+		for i := 0; i < pp; i++ {
+			lo, _ := Block(nn, pp, i)
+			if workerOf(nn, pp, lo) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := NewDeque(4)
+	for i := int32(0); i < 10; i++ {
+		d.Push(i)
+	}
+	for i := int32(9); i >= 0; i-- {
+		v, ok := d.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Error("Pop on empty deque returned ok")
+	}
+}
+
+func TestDequeStealHalf(t *testing.T) {
+	d := NewDeque(0)
+	d.PushAll([]int32{1, 2, 3, 4, 5})
+	got := d.StealHalf(nil)
+	if len(got) != 3 {
+		t.Fatalf("stole %d items, want 3", len(got))
+	}
+	for i, v := range []int32{1, 2, 3} {
+		if got[i] != v {
+			t.Errorf("stolen[%d] = %d, want %d (steal from top/oldest)", i, got[i], v)
+		}
+	}
+	if d.Len() != 2 {
+		t.Errorf("victim has %d items left, want 2", d.Len())
+	}
+	// Remaining items must be the newest, still poppable in LIFO order.
+	if v, _ := d.Pop(); v != 5 {
+		t.Errorf("Pop after steal = %d, want 5", v)
+	}
+}
+
+func TestDequeStealEmpty(t *testing.T) {
+	d := NewDeque(0)
+	if got := d.StealHalf(nil); got != nil {
+		t.Errorf("StealHalf on empty = %v, want nil", got)
+	}
+}
+
+func TestDequeConcurrentTotal(t *testing.T) {
+	// One owner producing, several thieves stealing: total items consumed
+	// must equal total produced.
+	const total = 20000
+	d := NewDeque(64)
+	var consumed atomic.Int64
+	done := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		go func() {
+			buf := make([]int32, 0, 64)
+			for {
+				select {
+				case <-done:
+					// Drain what remains after producer finished.
+					for {
+						got := d.StealHalf(buf)
+						if got == nil {
+							return
+						}
+						consumed.Add(int64(len(got)))
+					}
+				default:
+					got := d.StealHalf(buf)
+					consumed.Add(int64(len(got)))
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		d.Push(int32(i))
+		if i%64 == 0 {
+			if _, ok := d.Pop(); ok {
+				consumed.Add(1)
+			}
+		}
+	}
+	close(done)
+	// Wait until everything is accounted for.
+	for {
+		if consumed.Load()+int64(d.Len()) >= total {
+			break
+		}
+		runtime.Gosched()
+	}
+	rest := int64(0)
+	for {
+		if _, ok := d.Pop(); !ok {
+			break
+		}
+		rest++
+	}
+	if got := consumed.Load() + rest; got != total {
+		t.Errorf("consumed %d items, want %d", got, total)
+	}
+}
+
+func TestForDynamicRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(5000)
+		p := 1 + rng.Intn(8)
+		grain := rng.Intn(100)
+		var sum atomic.Int64
+		ForDynamic(p, n, grain, func(lo, hi int) {
+			local := int64(0)
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			sum.Add(local)
+		})
+		want := int64(n) * int64(n-1) / 2
+		if sum.Load() != want {
+			t.Fatalf("trial %d (n=%d p=%d grain=%d): sum=%d want %d", trial, n, p, grain, sum.Load(), want)
+		}
+	}
+}
+
+func TestForWorkerEdgeCases(t *testing.T) {
+	called := false
+	ForWorker(4, 0, func(w, lo, hi int) { called = true })
+	if called {
+		t.Error("n=0 should not invoke body")
+	}
+	count := 0
+	ForWorker(4, 1, func(w, lo, hi int) { count += hi - lo })
+	if count != 1 {
+		t.Errorf("n=1 covered %d items", count)
+	}
+	// p > n clamps.
+	var covered atomic.Int64
+	ForWorker(16, 3, func(w, lo, hi int) { covered.Add(int64(hi - lo)) })
+	if covered.Load() != 3 {
+		t.Errorf("p>n covered %d items, want 3", covered.Load())
+	}
+}
+
+func TestRunSingleWorker(t *testing.T) {
+	ran := false
+	Run(1, func(w int) {
+		if w != 0 {
+			t.Errorf("worker id %d, want 0", w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Error("worker did not run")
+	}
+}
+
+func TestNewBarrierClampsParties(t *testing.T) {
+	b := NewBarrier(0) // clamps to 1: Wait must not block
+	b.Wait()
+	b.Wait()
+}
+
+func TestDequePushAllEmpty(t *testing.T) {
+	d := NewDeque(0)
+	d.PushAll(nil) // no-op
+	if d.Len() != 0 {
+		t.Errorf("len=%d", d.Len())
+	}
+}

@@ -1,0 +1,61 @@
+package prefix
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func benchInput(n int) []int32 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(rng.Intn(100))
+	}
+	return xs
+}
+
+func BenchmarkInclusiveSum32(b *testing.B) {
+	const n = 1 << 20
+	src := benchInput(n)
+	xs := make([]int32, n)
+	for _, p := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(name(p), func(b *testing.B) {
+			b.SetBytes(4 * n)
+			for i := 0; i < b.N; i++ {
+				copy(xs, src)
+				InclusiveSum32(p, xs)
+			}
+		})
+	}
+}
+
+func BenchmarkExclusiveSum32(b *testing.B) {
+	const n = 1 << 20
+	src := benchInput(n)
+	xs := make([]int32, n)
+	for _, p := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(name(p), func(b *testing.B) {
+			b.SetBytes(4 * n)
+			for i := 0; i < b.N; i++ {
+				copy(xs, src)
+				ExclusiveSum32(p, xs)
+			}
+		})
+	}
+}
+
+func BenchmarkCompact(b *testing.B) {
+	const n = 1 << 20
+	p := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		Compact(p, n, func(i int) bool { return i%3 == 0 })
+	}
+}
+
+func name(p int) string {
+	if p == 1 {
+		return "p=1"
+	}
+	return "p=max"
+}

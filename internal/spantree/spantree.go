@@ -1,0 +1,277 @@
+// Package spantree implements the three spanning-tree algorithms the paper
+// uses or compares against:
+//
+//   - SV: the Shiloach–Vishkin-derived spanning tree used by the original
+//     Tarjan–Vishkin algorithm (step 1 of TV): record the edge responsible
+//     for every successful graft. The result is an *unrooted* spanning
+//     forest; TV-SMP roots it afterwards with the Euler-tour technique.
+//   - WorkStealing: the Bader–Cong work-stealing graph-traversal spanning
+//     tree [3,6] that computes a *rooted* spanning tree directly (parent per
+//     vertex), merging the paper's Spanning-tree and Root-tree steps —
+//     the key TV-opt optimization (§3.2).
+//   - BFS: level-synchronous parallel breadth-first search producing a BFS
+//     tree with levels, required by the TV-filter algorithm (§4) whose
+//     correctness lemmas need T to be a BFS tree.
+package spantree
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"bicc/internal/graph"
+	"bicc/internal/par"
+)
+
+// Forest is an unrooted spanning forest given as a set of edge indices into
+// the originating edge list.
+type Forest struct {
+	N         int32
+	TreeEdges []int32 // indices into the edge list; len = N - #components
+	Labels    []int32 // connected-component label per vertex (the SV d array;
+	// the label is the minimum vertex id of the component, so
+	// Labels[v] == v identifies component representatives)
+}
+
+// RootedForest is a rooted spanning forest: Parent[v] is v's parent, or v
+// itself when v is a root; ParentEdge[v] is the edge index connecting v to
+// its parent, or -1 for roots. Level is the BFS depth when produced by BFS,
+// nil otherwise.
+type RootedForest struct {
+	N          int32
+	Parent     []int32
+	ParentEdge []int32
+	Roots      []int32
+	Level      []int32
+}
+
+// IsRoot reports whether v is a root of the forest.
+func (f *RootedForest) IsRoot(v int32) bool { return f.Parent[v] == v }
+
+// SV computes an unrooted spanning forest with the graft-and-shortcut
+// method: every successful graft merges two distinct trees, and the edge
+// that caused it is a forest edge. Exactly n - #components grafts succeed
+// over the whole run.
+func SV(p int, n int32, edges []graph.Edge) *Forest {
+	d := make([]int32, n)
+	hook := make([]int32, n) // hook[r] = edge id whose graft removed root r
+	par.For(p, int(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = int32(i)
+			hook[i] = -1
+		}
+	})
+	var changed atomic.Bool
+	for {
+		changed.Store(false)
+		par.ForDynamic(p, len(edges), 0, func(lo, hi int) {
+			localChanged := false
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				du := atomic.LoadInt32(&d[e.U])
+				dv := atomic.LoadInt32(&d[e.V])
+				if du < dv {
+					if atomic.CompareAndSwapInt32(&d[dv], dv, du) {
+						atomic.StoreInt32(&hook[dv], int32(i))
+						localChanged = true
+					}
+				} else if dv < du {
+					if atomic.CompareAndSwapInt32(&d[du], du, dv) {
+						atomic.StoreInt32(&hook[du], int32(i))
+						localChanged = true
+					}
+				}
+			}
+			if localChanged {
+				changed.Store(true)
+			}
+		})
+		if !changed.Load() {
+			break
+		}
+		par.For(p, int(n), func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				dv := atomic.LoadInt32(&d[v])
+				for {
+					ddv := atomic.LoadInt32(&d[dv])
+					if ddv == dv {
+						break
+					}
+					dv = ddv
+				}
+				atomic.StoreInt32(&d[v], dv)
+			}
+		})
+	}
+	tree := make([]int32, 0, n)
+	for v := int32(0); v < n; v++ {
+		if hook[v] != -1 {
+			tree = append(tree, hook[v])
+		}
+	}
+	return &Forest{N: n, TreeEdges: tree, Labels: d}
+}
+
+// WorkStealing computes a rooted spanning forest by parallel graph
+// traversal: workers expand vertices from private deques, claiming children
+// with a CAS on the parent array, and steal half a victim's deque when their
+// own runs dry. Discovery order is nondeterministic, but any claimed parent
+// relation is a valid spanning-forest edge.
+func WorkStealing(p int, c *graph.CSR) *RootedForest {
+	n := c.N
+	p = par.Procs(p)
+	parent := make([]int32, n)
+	parentEdge := make([]int32, n)
+	par.For(p, int(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			parent[i] = -1
+			parentEdge[i] = -1
+		}
+	})
+	var roots []int32
+	for s := int32(0); s < n; s++ {
+		if atomic.LoadInt32(&parent[s]) != -1 {
+			continue
+		}
+		parent[s] = s
+		roots = append(roots, s)
+		traverse(p, c, parent, parentEdge, s)
+	}
+	return &RootedForest{N: n, Parent: parent, ParentEdge: parentEdge, Roots: roots}
+}
+
+// traverse runs the work-stealing expansion of one component from root s.
+func traverse(p int, c *graph.CSR, parent, parentEdge []int32, s int32) {
+	deques := make([]*par.Deque, p)
+	for i := range deques {
+		deques[i] = par.NewDeque(256)
+	}
+	deques[0].Push(s)
+	// work counts vertices discovered (pushed) but not yet fully expanded;
+	// the traversal is complete when it reaches zero.
+	var work atomic.Int64
+	work.Store(1)
+	par.Run(p, func(w int) {
+		my := deques[w]
+		stealBuf := make([]int32, 0, 256)
+		for {
+			v, ok := my.Pop()
+			if !ok {
+				if work.Load() == 0 {
+					return
+				}
+				// Try to steal from any victim.
+				stole := false
+				for off := 1; off < p; off++ {
+					victim := deques[(w+off)%p]
+					if got := victim.StealHalf(stealBuf); len(got) > 0 {
+						// Last stolen item is processed immediately; the
+						// rest go to our deque.
+						v = got[len(got)-1]
+						my.PushAll(got[:len(got)-1])
+						stole = true
+						break
+					}
+				}
+				if !stole {
+					runtime.Gosched()
+					continue
+				}
+			}
+			off, end := c.Off[v], c.Off[v+1]
+			for i := off; i < end; i++ {
+				u := c.Adj[i]
+				if atomic.LoadInt32(&parent[u]) == -1 &&
+					atomic.CompareAndSwapInt32(&parent[u], -1, v) {
+					parentEdge[u] = c.EdgeID[i]
+					work.Add(1)
+					my.Push(u)
+				}
+			}
+			work.Add(-1)
+		}
+	})
+}
+
+// BFS computes a rooted spanning forest by level-synchronous parallel
+// breadth-first search over all components, with Level recording BFS depth.
+// The tree rooted at each root is a genuine BFS tree: Level[child] =
+// Level[parent] + 1, which is the property the TV-filter lemmas require.
+func BFS(p int, c *graph.CSR) *RootedForest {
+	n := c.N
+	p = par.Procs(p)
+	parent := make([]int32, n)
+	parentEdge := make([]int32, n)
+	level := make([]int32, n)
+	par.For(p, int(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			parent[i] = -1
+			parentEdge[i] = -1
+			level[i] = -1
+		}
+	})
+	var roots []int32
+	frontier := make([]int32, 0, n)
+	nextBufs := make([][]int32, p)
+	for s := int32(0); s < n; s++ {
+		if parent[s] != -1 {
+			continue
+		}
+		parent[s] = s
+		level[s] = 0
+		roots = append(roots, s)
+		frontier = append(frontier[:0], s)
+		depth := int32(0)
+		for len(frontier) > 0 {
+			depth++
+			par.ForWorker(p, len(frontier), func(w, lo, hi int) {
+				buf := nextBufs[w][:0]
+				for i := lo; i < hi; i++ {
+					v := frontier[i]
+					off, end := c.Off[v], c.Off[v+1]
+					for j := off; j < end; j++ {
+						u := c.Adj[j]
+						if atomic.LoadInt32(&parent[u]) == -1 &&
+							atomic.CompareAndSwapInt32(&parent[u], -1, v) {
+							parentEdge[u] = c.EdgeID[j]
+							level[u] = depth
+							buf = append(buf, u)
+						}
+					}
+				}
+				nextBufs[w] = buf
+			})
+			frontier = frontier[:0]
+			for w := range nextBufs {
+				frontier = append(frontier, nextBufs[w]...)
+				nextBufs[w] = nextBufs[w][:0]
+			}
+		}
+	}
+	return &RootedForest{N: n, Parent: parent, ParentEdge: parentEdge, Roots: roots, Level: level}
+}
+
+// TreeEdgeMark returns a boolean mask over the m edges of the originating
+// edge list marking the forest's tree edges.
+func (f *RootedForest) TreeEdgeMark(p, m int) []bool {
+	mark := make([]bool, m)
+	par.For(p, int(f.N), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if e := f.ParentEdge[v]; e != -1 {
+				mark[e] = true
+			}
+		}
+	})
+	return mark
+}
+
+// Mark returns a boolean mask over m edges marking this unrooted forest's
+// tree edges.
+func (f *Forest) Mark(p, m int) []bool {
+	mark := make([]bool, m)
+	par.For(p, len(f.TreeEdges), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mark[f.TreeEdges[i]] = true
+		}
+	})
+	return mark
+}

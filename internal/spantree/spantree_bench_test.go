@@ -1,0 +1,48 @@
+package spantree
+
+import (
+	"runtime"
+	"testing"
+
+	"bicc/internal/gen"
+	"bicc/internal/graph"
+)
+
+func BenchmarkSpanningTree(b *testing.B) {
+	g := gen.RandomConnected(100_000, 400_000, 1)
+	c := graph.ToCSR(1, g)
+	p := runtime.GOMAXPROCS(0)
+	b.Run("sv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SV(p, g.N, g.Edges)
+		}
+	})
+	b.Run("work-stealing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			WorkStealing(p, c)
+		}
+	})
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BFS(p, c)
+		}
+	})
+}
+
+// High-diameter input: the regime where BFS pays d synchronization rounds
+// (the paper's §4 pathological case).
+func BenchmarkSpanningTreeHighDiameter(b *testing.B) {
+	g := gen.Mesh(1000, 100)
+	c := graph.ToCSR(1, g)
+	p := runtime.GOMAXPROCS(0)
+	b.Run("work-stealing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			WorkStealing(p, c)
+		}
+	})
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BFS(p, c)
+		}
+	})
+}

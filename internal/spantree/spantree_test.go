@@ -1,0 +1,200 @@
+package spantree
+
+import (
+	"math/rand"
+	"testing"
+
+	"bicc/internal/conncomp"
+	"bicc/internal/gen"
+	"bicc/internal/graph"
+)
+
+// checkForestEdges verifies that the edge set is acyclic and has exactly
+// n - #components edges (hence spans every component).
+func checkForestEdges(t *testing.T, g *graph.EdgeList, treeEdges []int32) {
+	t.Helper()
+	comps := conncomp.Count(conncomp.UnionFind(g.N, g.Edges))
+	if len(treeEdges) != int(g.N)-comps {
+		t.Fatalf("forest has %d edges, want n-#comp = %d", len(treeEdges), int(g.N)-comps)
+	}
+	// Acyclic: union-find over just the tree edges never joins joined sets.
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(v int32) int32
+	find = func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	for _, id := range treeEdges {
+		e := g.Edges[id]
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			t.Fatalf("tree edge %d (%d,%d) creates a cycle", id, e.U, e.V)
+		}
+		parent[ru] = rv
+	}
+}
+
+// checkRooted verifies parent-pointer consistency: every non-root reaches a
+// root, ParentEdge matches Parent, and tree edges form a spanning forest.
+func checkRooted(t *testing.T, g *graph.EdgeList, f *RootedForest) {
+	t.Helper()
+	var tree []int32
+	for v := int32(0); v < f.N; v++ {
+		if f.IsRoot(v) {
+			if f.ParentEdge[v] != -1 {
+				t.Fatalf("root %d has parent edge %d", v, f.ParentEdge[v])
+			}
+			continue
+		}
+		id := f.ParentEdge[v]
+		if id < 0 || int(id) >= len(g.Edges) {
+			t.Fatalf("vertex %d parent edge %d out of range", v, id)
+		}
+		e := g.Edges[id]
+		p := f.Parent[v]
+		if !((e.U == v && e.V == p) || (e.V == v && e.U == p)) {
+			t.Fatalf("vertex %d: parent %d but edge %d = %v", v, p, id, e)
+		}
+		tree = append(tree, id)
+	}
+	checkForestEdges(t, g, tree)
+	// Every vertex must reach its root in at most n steps.
+	for v := int32(0); v < f.N; v++ {
+		x := v
+		for i := int32(0); i <= f.N; i++ {
+			if f.Parent[x] == x {
+				break
+			}
+			x = f.Parent[x]
+			if i == f.N {
+				t.Fatalf("vertex %d: parent chain does not terminate", v)
+			}
+		}
+	}
+}
+
+func testGraphs() map[string]*graph.EdgeList {
+	return map[string]*graph.EdgeList{
+		"triangle":     gen.Cycle(3),
+		"chain":        gen.Chain(50),
+		"star":         gen.Star(20),
+		"mesh":         gen.Mesh(8, 9),
+		"random":       gen.RandomConnected(300, 900, 1),
+		"dense":        gen.Dense(40, 0.7, 2),
+		"disconnected": gen.Disconnected(gen.Cycle(5), gen.Chain(7), gen.Star(4)),
+		"single":       {N: 1},
+		"empty":        {N: 0},
+		"isolated":     {N: 6},
+		"blockchain":   gen.BlockChain(4, 4),
+	}
+}
+
+func TestSVSpanningForest(t *testing.T) {
+	for name, g := range testGraphs() {
+		for _, p := range []int{1, 4} {
+			f := SV(p, g.N, g.Edges)
+			checkForestEdges(t, g, f.TreeEdges)
+			_ = name
+		}
+	}
+}
+
+func TestWorkStealingRootedForest(t *testing.T) {
+	for name, g := range testGraphs() {
+		for _, p := range []int{1, 2, 4} {
+			c := graph.ToCSR(p, g)
+			f := WorkStealing(p, c)
+			checkRooted(t, g, f)
+			comps := conncomp.Count(conncomp.UnionFind(g.N, g.Edges))
+			if len(f.Roots) != comps {
+				t.Errorf("%s p=%d: %d roots, want %d", name, p, len(f.Roots), comps)
+			}
+		}
+	}
+}
+
+func TestBFSRootedForest(t *testing.T) {
+	for name, g := range testGraphs() {
+		for _, p := range []int{1, 3} {
+			c := graph.ToCSR(p, g)
+			f := BFS(p, c)
+			checkRooted(t, g, f)
+			// BFS property: levels differ by exactly 1 along tree edges and
+			// by at most 1 along every graph edge.
+			for v := int32(0); v < f.N; v++ {
+				if f.IsRoot(v) {
+					if f.Level[v] != 0 {
+						t.Fatalf("%s: root %d level=%d", name, v, f.Level[v])
+					}
+					continue
+				}
+				if f.Level[v] != f.Level[f.Parent[v]]+1 {
+					t.Fatalf("%s: vertex %d level=%d parent level=%d", name, v, f.Level[v], f.Level[f.Parent[v]])
+				}
+			}
+			for _, e := range g.Edges {
+				d := f.Level[e.U] - f.Level[e.V]
+				if d < -1 || d > 1 {
+					t.Fatalf("%s p=%d: edge (%d,%d) spans levels %d..%d — not a BFS tree",
+						name, p, e.U, e.V, f.Level[e.U], f.Level[e.V])
+				}
+			}
+		}
+	}
+}
+
+func TestBFSChainDepth(t *testing.T) {
+	g := gen.Chain(100)
+	f := BFS(2, graph.ToCSR(1, g))
+	if f.Level[99] != 99 {
+		t.Errorf("chain end level=%d, want 99", f.Level[99])
+	}
+}
+
+func TestTreeEdgeMarks(t *testing.T) {
+	g := gen.RandomConnected(100, 250, 5)
+	c := graph.ToCSR(1, g)
+	f := BFS(2, c)
+	mark := f.TreeEdgeMark(2, len(g.Edges))
+	count := 0
+	for _, m := range mark {
+		if m {
+			count++
+		}
+	}
+	if count != 99 {
+		t.Errorf("marked %d tree edges, want 99", count)
+	}
+	uf := SV(2, g.N, g.Edges)
+	umark := uf.Mark(2, len(g.Edges))
+	ucount := 0
+	for _, m := range umark {
+		if m {
+			ucount++
+		}
+	}
+	if ucount != 99 {
+		t.Errorf("SV marked %d tree edges, want 99", ucount)
+	}
+}
+
+func TestRandomizedAllAlgorithmsSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(150)
+		maxM := n * (n - 1) / 2
+		m := rng.Intn(maxM + 1)
+		g := gen.Random(n, m, int64(trial*31))
+		c := graph.ToCSR(1, g)
+		sv := SV(2, g.N, g.Edges)
+		checkForestEdges(t, g, sv.TreeEdges)
+		checkRooted(t, g, WorkStealing(3, c))
+		checkRooted(t, g, BFS(3, c))
+	}
+}

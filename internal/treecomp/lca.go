@@ -1,0 +1,110 @@
+package treecomp
+
+import (
+	"bicc/internal/eulertour"
+	"bicc/internal/par"
+)
+
+// LCA answers lowest-common-ancestor queries over a spanning forest by the
+// classical Euler-tour reduction: the LCA of u and v is the
+// minimum-depth vertex on the tour segment between any occurrence of u and
+// any occurrence of v, answered with the same blocked sparse-table RMQ used
+// by the low/high computation. Building is O(n log n / B) extra memory and
+// parallel; each query is O(B).
+type LCA struct {
+	td       *TreeData
+	depth    []int32
+	firstPos []int32 // first tour position whose source is v
+	tourSrc  []int32 // source vertex per tour position
+	rmq      *blockedRMQ
+	depthAt  []int32 // depth of tourSrc per position
+}
+
+// NewLCA builds the query structure from an ordered tour and its TreeData
+// with p workers.
+func NewLCA(p int, seq *eulertour.ArcSeq, td *TreeData) *LCA {
+	n := int(td.N)
+	na := seq.NumArcs()
+	l := &LCA{td: td}
+	// Depths via one pass in preorder (parents precede children).
+	l.depth = make([]int32, n)
+	for i := 0; i < n; i++ {
+		v := td.Order[i]
+		if td.IsRoot(v) {
+			l.depth[v] = 0
+		} else {
+			l.depth[v] = l.depth[td.Parent[v]] + 1
+		}
+	}
+	// Tour sources plus one trailing slot per component end so that every
+	// vertex (including tour tails) has a position; simpler: use arc
+	// sources and give each vertex its first occurrence. Singleton roots
+	// get a synthetic position appended at the end.
+	l.tourSrc = make([]int32, 0, na+len(td.Roots))
+	l.tourSrc = append(l.tourSrc, seq.Src[:na]...)
+	// Components' tours end by returning to the root, whose occurrences are
+	// all as sources except the final arrival; sources alone cover every
+	// vertex of multi-vertex components. Append singleton roots.
+	for k := len(seq.CompFirst); k < len(seq.Roots); k++ {
+		l.tourSrc = append(l.tourSrc, seq.Roots[k])
+	}
+	total := len(l.tourSrc)
+	l.firstPos = make([]int32, n)
+	par.For(p, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			l.firstPos[v] = -1
+		}
+	})
+	for i := total - 1; i >= 0; i-- { // reverse so the first occurrence wins
+		l.firstPos[l.tourSrc[i]] = int32(i)
+	}
+	l.depthAt = make([]int32, total)
+	par.For(p, total, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			l.depthAt[i] = l.depth[l.tourSrc[i]]
+		}
+	})
+	l.rmq = newBlockedRMQ(p, l.depthAt, true)
+	return l
+}
+
+// Query returns the lowest common ancestor of u and v, or -1 when they are
+// in different components.
+func (l *LCA) Query(u, v int32) int32 {
+	if !sameComponent(l.td, u, v) {
+		return -1
+	}
+	a, b := l.firstPos[u], l.firstPos[v]
+	if a > b {
+		a, b = b, a
+	}
+	minDepth := l.rmq.query(a, b)
+	// The shallowest vertex on the tour segment is the LCA, and it is the
+	// unique ancestor of u at that depth — climb from u to it. (An
+	// argmin-carrying RMQ would answer in O(B); the climb is
+	// O(depth(u) − depth(lca)), plenty for this utility's callers.)
+	w := u
+	for l.depth[w] > minDepth {
+		w = l.td.Parent[w]
+	}
+	return w
+}
+
+// Depth returns the depth of v in its tree (root depth 0).
+func (l *LCA) Depth(v int32) int32 { return l.depth[v] }
+
+// sameComponent tests whether u and v share a tree, using the root's
+// preorder interval.
+func sameComponent(td *TreeData, u, v int32) bool {
+	ru := componentRoot(td, u)
+	return td.IsAncestor(ru, v)
+}
+
+// componentRoot finds u's root by climbing; paths are short on BFS trees,
+// and the result is exact for any forest.
+func componentRoot(td *TreeData, u int32) int32 {
+	for !td.IsRoot(u) {
+		u = td.Parent[u]
+	}
+	return u
+}

@@ -1,0 +1,110 @@
+package treecomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"bicc/internal/eulertour"
+	"bicc/internal/gen"
+	"bicc/internal/graph"
+	"bicc/internal/spantree"
+)
+
+// lcaOracle climbs both vertices to the root and compares paths.
+func lcaOracle(td *TreeData, u, v int32) int32 {
+	anc := map[int32]bool{}
+	for x := u; ; x = td.Parent[x] {
+		anc[x] = true
+		if td.IsRoot(x) {
+			break
+		}
+	}
+	for x := v; ; x = td.Parent[x] {
+		if anc[x] {
+			return x
+		}
+		if td.IsRoot(x) {
+			return -1
+		}
+	}
+}
+
+func buildLCA(t *testing.T, g *graph.EdgeList, p int) (*LCA, *TreeData) {
+	t.Helper()
+	c := graph.ToCSR(p, g)
+	f := spantree.BFS(p, c)
+	seq := eulertour.DFSOrder(p, g.Edges, f)
+	td, err := Compute(p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLCA(p, seq, td), td
+}
+
+func TestLCAAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(80)
+		maxM := n * (n - 1) / 2
+		m := rng.Intn(maxM + 1)
+		g := gen.Random(n, m, int64(trial+300))
+		lca, td := buildLCA(t, g, 2)
+		for u := int32(0); u < g.N; u++ {
+			for v := int32(0); v < g.N; v++ {
+				want := lcaOracle(td, u, v)
+				if got := lca.Query(u, v); got != want {
+					t.Fatalf("trial %d: LCA(%d,%d)=%d, want %d", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLCAChain(t *testing.T) {
+	g := gen.Chain(100)
+	lca, td := buildLCA(t, g, 1)
+	// BFS from 0 makes the chain a path rooted at 0: LCA(a,b) = min.
+	for _, pair := range [][2]int32{{10, 50}, {99, 0}, {33, 33}, {1, 99}} {
+		u, v := pair[0], pair[1]
+		want := u
+		if v < u {
+			want = v
+		}
+		if got := lca.Query(u, v); got != want {
+			t.Errorf("LCA(%d,%d)=%d, want %d", u, v, got, want)
+		}
+	}
+	if d := lca.Depth(99); d != 99 {
+		t.Errorf("Depth(99)=%d, want 99", d)
+	}
+	_ = td
+}
+
+func TestLCADisconnected(t *testing.T) {
+	g := gen.Disconnected(gen.Cycle(4), gen.Chain(3), &graph.EdgeList{N: 2})
+	lca, _ := buildLCA(t, g, 2)
+	if got := lca.Query(0, 5); got != -1 {
+		t.Errorf("cross-component LCA=%d, want -1", got)
+	}
+	if got := lca.Query(7, 8); got != -1 {
+		t.Errorf("two singletons LCA=%d, want -1", got)
+	}
+	if got := lca.Query(7, 7); got != 7 {
+		t.Errorf("self LCA=%d, want 7", got)
+	}
+	if got := lca.Query(4, 6); got == -1 {
+		t.Error("same-chain LCA reported disconnected")
+	}
+}
+
+func TestLCAStarCenter(t *testing.T) {
+	g := gen.Star(20)
+	lca, _ := buildLCA(t, g, 1)
+	for u := int32(1); u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			if got := lca.Query(u, v); got != 0 {
+				t.Fatalf("LCA(%d,%d)=%d, want center 0", u, v, got)
+			}
+		}
+	}
+}

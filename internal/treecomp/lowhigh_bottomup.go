@@ -1,0 +1,87 @@
+package treecomp
+
+import (
+	"bicc/internal/graph"
+	"bicc/internal/par"
+)
+
+// LowHighBottomUp computes the same low/high values as LowHigh with a
+// level-synchronized rootward accumulation instead of range queries:
+// vertices are bucketed by depth, and each round folds the deepest
+// remaining level into its parents (min for low, max for high). The number
+// of rounds equals the tree height, so this variant wins on shallow trees
+// (BFS trees of low-diameter graphs — the common case by Palmer's theorem)
+// and loses on deep ones; BenchmarkAblationLowHigh quantifies the trade.
+func LowHighBottomUp(p int, td *TreeData, edges []graph.Edge, isTree []bool) (low, high []int32) {
+	n := int(td.N)
+	low = make([]int32, n)
+	high = make([]int32, n)
+	// Seed with own preorder and nontree neighbors, exactly as LowHigh —
+	// but indexed by vertex here, not by preorder, since the accumulation
+	// walks parent pointers.
+	par.For(p, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			low[v] = td.Pre[v]
+			high[v] = td.Pre[v]
+		}
+	})
+	par.ForDynamic(p, len(edges), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if isTree[i] {
+				continue
+			}
+			e := edges[i]
+			pu, pv := td.Pre[e.U], td.Pre[e.V]
+			atomicMin(&low[e.U], pv)
+			atomicMin(&low[e.V], pu)
+			atomicMax(&high[e.U], pv)
+			atomicMax(&high[e.V], pu)
+		}
+	})
+	// Depth per vertex: parents precede children in preorder, so one
+	// ordered pass suffices.
+	depth := make([]int32, n)
+	maxDepth := int32(0)
+	for i := 0; i < n; i++ {
+		v := td.Order[i]
+		if td.IsRoot(v) {
+			depth[v] = 0
+			continue
+		}
+		depth[v] = depth[td.Parent[v]] + 1
+		if depth[v] > maxDepth {
+			maxDepth = depth[v]
+		}
+	}
+	// Bucket by depth (counting sort keyed on depth, in preorder order so
+	// buckets are deterministic).
+	bucketOff := make([]int32, maxDepth+2)
+	for v := 0; v < n; v++ {
+		bucketOff[depth[v]+1]++
+	}
+	for d := int32(0); d <= maxDepth; d++ {
+		bucketOff[d+1] += bucketOff[d]
+	}
+	byDepth := make([]int32, n)
+	cur := make([]int32, maxDepth+1)
+	for i := 0; i < n; i++ {
+		v := td.Order[i]
+		d := depth[v]
+		byDepth[bucketOff[d]+cur[d]] = v
+		cur[d]++
+	}
+	// Rootward sweep, one parallel round per level.
+	for d := maxDepth; d >= 1; d-- {
+		level := byDepth[bucketOff[d]:bucketOff[d+1]]
+		par.For(p, len(level), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := level[i]
+				parent := td.Parent[v]
+				atomicMin(&low[parent], low[v])
+				atomicMax(&high[parent], high[v])
+			}
+		})
+	}
+	// LowHigh returns arrays indexed by vertex already; nothing to permute.
+	return low, high
+}

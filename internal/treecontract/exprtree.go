@@ -1,0 +1,270 @@
+package treecontract
+
+import (
+	"fmt"
+
+	"bicc/internal/par"
+)
+
+// Arithmetic expression tree evaluation by parallel tree contraction — the
+// demonstration workload of the paper's cited building-block study [2]
+// (Bader, Sreshta, Weisse-Bernstein, HiPC 2002). Internal nodes are + or ×
+// over a prime field; leaves carry values. Raking a leaf folds its
+// constant into a pending linear function a·x+b on its sibling's edge;
+// since linear functions are closed under composition with + and ×, the
+// tree halves every two sub-rounds and evaluation completes in O(log n)
+// rounds.
+
+// Mod is the prime field modulus used by the evaluator (2^31 - 1).
+const Mod = (1 << 31) - 1
+
+// Op is an expression-node operator.
+type Op byte
+
+const (
+	// Leaf marks a value node.
+	Leaf Op = iota
+	// Add is modular addition.
+	Add
+	// Mul is modular multiplication.
+	Mul
+)
+
+// ExprNode is one node of a binary expression tree.
+type ExprNode struct {
+	Op          Op
+	Left, Right int32 // children (internal nodes), -1 for leaves
+	Value       int64 // leaf value (taken mod Mod)
+}
+
+// ExprTree is a strict binary expression tree: every internal node has
+// exactly two children.
+type ExprTree struct {
+	Nodes []ExprNode
+	Root  int32
+}
+
+// Validate checks structural invariants: strict binary internals, in-range
+// child links, a single root, acyclicity.
+func (t *ExprTree) Validate() error {
+	n := int32(len(t.Nodes))
+	if t.Root < 0 || t.Root >= n {
+		return fmt.Errorf("treecontract: root %d out of range", t.Root)
+	}
+	indeg := make([]int8, n)
+	for i, nd := range t.Nodes {
+		switch nd.Op {
+		case Leaf:
+			if nd.Left != -1 || nd.Right != -1 {
+				return fmt.Errorf("treecontract: leaf %d has children", i)
+			}
+		case Add, Mul:
+			if nd.Left < 0 || nd.Left >= n || nd.Right < 0 || nd.Right >= n || nd.Left == nd.Right {
+				return fmt.Errorf("treecontract: node %d has bad children (%d,%d)", i, nd.Left, nd.Right)
+			}
+			indeg[nd.Left]++
+			indeg[nd.Right]++
+		default:
+			return fmt.Errorf("treecontract: node %d has unknown op %d", i, nd.Op)
+		}
+	}
+	for i, d := range indeg {
+		if int32(i) == t.Root {
+			if d != 0 {
+				return fmt.Errorf("treecontract: root %d has a parent", i)
+			}
+		} else if d != 1 {
+			return fmt.Errorf("treecontract: node %d has in-degree %d", i, d)
+		}
+	}
+	return nil
+}
+
+// EvalSequential evaluates the tree by iterative post-order traversal — the
+// baseline the contraction is checked against.
+func (t *ExprTree) EvalSequential() int64 {
+	type frame struct {
+		node    int32
+		visited bool
+	}
+	vals := make([]int64, len(t.Nodes))
+	stack := []frame{{t.Root, false}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &t.Nodes[fr.node]
+		if nd.Op == Leaf {
+			vals[fr.node] = mod(nd.Value)
+			continue
+		}
+		if !fr.visited {
+			stack = append(stack, frame{fr.node, true}, frame{nd.Left, false}, frame{nd.Right, false})
+			continue
+		}
+		l, r := vals[nd.Left], vals[nd.Right]
+		if nd.Op == Add {
+			vals[fr.node] = (l + r) % Mod
+		} else {
+			vals[fr.node] = l * r % Mod
+		}
+	}
+	return vals[t.Root]
+}
+
+// linfn is a linear function x ↦ a·x + b over the prime field.
+type linfn struct{ a, b int64 }
+
+func (f linfn) apply(x int64) int64   { return (f.a*x%Mod + f.b) % Mod }
+func (f linfn) compose(g linfn) linfn { return linfn{f.a * g.a % Mod, (f.a*g.b%Mod + f.b) % Mod} }
+
+// EvalContract evaluates the tree with rake-based parallel contraction
+// using p workers. Leaves are raked in odd-even order (odd-indexed leaves
+// that are left children, then odd-indexed right children), so no two
+// simultaneous rakes touch adjacent nodes and the leaf count halves each
+// round: O(log n) rounds total.
+func (t *ExprTree) EvalContract(p int) (int64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(t.Nodes)
+	if t.Nodes[t.Root].Op == Leaf {
+		return mod(t.Nodes[t.Root].Value), nil
+	}
+	parent := make([]int32, n)
+	left := make([]int32, n)
+	right := make([]int32, n)
+	fn := make([]linfn, n) // pending function on the edge (node -> parent)
+	val := make([]int64, n)
+	for i := range t.Nodes {
+		parent[i] = -1
+		fn[i] = linfn{1, 0}
+		left[i] = t.Nodes[i].Left
+		right[i] = t.Nodes[i].Right
+	}
+	for i, nd := range t.Nodes {
+		if nd.Op != Leaf {
+			parent[nd.Left] = int32(i)
+			parent[nd.Right] = int32(i)
+		}
+	}
+	// Leaves in in-order (left-to-right), found by traversal.
+	var leaves []int32
+	stack := []int32{t.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.Nodes[v].Op == Leaf {
+			leaves = append(leaves, v)
+			val[v] = mod(t.Nodes[v].Value)
+			continue
+		}
+		// Push right first so left pops first: in-order leaf sequence.
+		stack = append(stack, right[v], left[v])
+	}
+	apply := func(v int32, leftChild bool) {
+		// Rake leaf v: parent pv is removed; the sibling s inherits the
+		// composed pending function on its new edge to the grandparent.
+		pv := parent[v]
+		var s int32
+		if leftChild {
+			s = right[pv]
+		} else {
+			s = left[pv]
+		}
+		c := fn[v].apply(val[v])
+		var partial linfn // x ↦ op(c, fn[s](x))
+		if t.Nodes[pv].Op == Add {
+			partial = linfn{fn[s].a, (fn[s].b + c) % Mod}
+		} else {
+			partial = linfn{fn[s].a * c % Mod, fn[s].b * c % Mod}
+		}
+		fn[s] = fn[pv].compose(partial)
+		// Splice s into pv's place.
+		g := parent[pv]
+		parent[s] = g
+		if g != -1 {
+			if left[g] == pv {
+				left[g] = s
+			} else {
+				right[g] = s
+			}
+		}
+	}
+	root := t.Root
+	for len(leaves) > 1 {
+		// Sub-round A: odd-indexed leaves that are left children (and whose
+		// parent is not the root unless the sibling subtree is already a
+		// leaf — raking under the root is safe since the root is never
+		// removed... the root IS removed when its other child is a leaf;
+		// handle by tracking the current root).
+		for pass := 0; pass < 2; pass++ {
+			wantLeft := pass == 0
+			// Collect rakes first (indices), then apply in parallel-safe
+			// groups: odd positions ensure non-adjacent parents, but two
+			// leaves could still share a parent when both are at odd/even
+			// boundary — sharing a parent is impossible for two leaves of
+			// the same side (a parent has one left child), and sides run in
+			// separate passes.
+			var rakes []int32
+			for i := 1; i < len(leaves); i += 2 {
+				v := leaves[i]
+				pv := parent[v]
+				if pv < 0 { // already raked (-2) or became the root (-1)
+					continue
+				}
+				if (left[pv] == v) == wantLeft {
+					rakes = append(rakes, v)
+				}
+			}
+			par.ForDynamic(p, len(rakes), 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := rakes[i]
+					pv := parent[v]
+					if pv == root {
+						continue // handled at the end
+					}
+					apply(v, left[pv] == v)
+					parent[v] = -2 // mark raked
+				}
+			})
+			// Root-adjacent rakes run sequentially: they may relabel root.
+			for _, v := range rakes {
+				if parent[v] != root {
+					continue
+				}
+				pv := parent[v]
+				var s int32
+				if left[pv] == v {
+					s = right[pv]
+				} else {
+					s = left[pv]
+				}
+				apply(v, left[pv] == v)
+				root = s
+				parent[s] = -1
+				parent[v] = -2
+			}
+		}
+		// Compact the leaf list, preserving order.
+		out := leaves[:0]
+		for _, v := range leaves {
+			if parent[v] != -2 {
+				out = append(out, v)
+			}
+		}
+		if len(out) == len(leaves) {
+			return 0, fmt.Errorf("treecontract: contraction made no progress (%d leaves)", len(leaves))
+		}
+		leaves = out
+	}
+	last := leaves[0]
+	return fn[last].apply(val[last]), nil
+}
+
+func mod(x int64) int64 {
+	x %= Mod
+	if x < 0 {
+		x += Mod
+	}
+	return x
+}

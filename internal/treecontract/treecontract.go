@@ -1,0 +1,176 @@
+// Package treecontract implements parallel tree contraction, the remaining
+// member of the paper's building-block family (§1 cites Bader, Sreshta and
+// Weisse-Bernstein's SMP tree-contraction study [2] alongside prefix sums,
+// list ranking and spanning trees). Two facilities are provided:
+//
+//   - Rake-order scheduling: repeatedly "rake" (remove) leaves in parallel
+//     rounds until only the root remains. The rounds define a schedule that
+//     evaluates any bottom-up tree recurrence; the number of rounds equals
+//     the tree height, so it suits bounded-height trees (BFS trees of
+//     low-diameter graphs). Deep unary chains should use the list-ranking
+//     or RMQ engines in packages listrank/treecomp instead — no compress
+//     step is implemented here.
+//   - Expression evaluation (exprtree.go): the classic rake-with-pending-
+//     linear-functions contraction that evaluates +/× expression trees in
+//     O(log n) rounds regardless of shape, since binary expression trees
+//     have no unary chains.
+package treecontract
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"bicc/internal/par"
+)
+
+// Tree is a rooted tree (or forest) in parent-array form: Parent[v] == v
+// marks a root.
+type Tree struct {
+	Parent []int32
+}
+
+// NewTree validates a parent array and returns the tree. Every vertex must
+// reach a root in at most n steps.
+func NewTree(parent []int32) (*Tree, error) {
+	n := int32(len(parent))
+	for v := int32(0); v < n; v++ {
+		x := v
+		for i := int32(0); ; i++ {
+			if parent[x] < 0 || parent[x] >= n {
+				return nil, fmt.Errorf("treecontract: parent[%d]=%d out of range", x, parent[x])
+			}
+			if parent[x] == x {
+				break
+			}
+			if i >= n {
+				return nil, fmt.Errorf("treecontract: cycle through vertex %d", v)
+			}
+			x = parent[x]
+		}
+	}
+	return &Tree{Parent: append([]int32(nil), parent...)}, nil
+}
+
+// Schedule is a rake order: Rounds[r] lists the vertices raked in round r.
+// Every non-vertex appears in exactly one round; roots are never raked.
+type Schedule struct {
+	Rounds [][]int32
+}
+
+// RakeSchedule computes the leaf-raking schedule with p workers: round r
+// rakes the current leaves. The number of rounds equals the tree height.
+func RakeSchedule(p int, t *Tree) *Schedule {
+	n := len(t.Parent)
+	remaining := make([]int32, n) // live child count
+	for v := 0; v < n; v++ {
+		if int(t.Parent[v]) != v {
+			remaining[t.Parent[v]]++
+		}
+	}
+	// Initial leaves.
+	frontier := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if remaining[v] == 0 && int(t.Parent[v]) != v {
+			frontier = append(frontier, int32(v))
+		}
+	}
+	s := &Schedule{}
+	next := make([]int32, 0, n)
+	decr := make([]int32, n)
+	for len(frontier) > 0 {
+		s.Rounds = append(s.Rounds, append([]int32(nil), frontier...))
+		// Decrement each raked vertex's parent; parents reaching zero and
+		// not being roots become the next frontier. Single-threaded per
+		// round bookkeeping is fine: total work over all rounds is O(n).
+		next = next[:0]
+		for _, v := range frontier {
+			pv := t.Parent[v]
+			decr[pv]++
+			if decr[pv] == remaining[pv] && int(t.Parent[pv]) != int(pv) {
+				next = append(next, pv)
+			}
+		}
+		frontier, next = append(frontier[:0], next...), frontier
+	}
+	return s
+}
+
+// Aggregate evaluates a bottom-up recurrence over the tree using the rake
+// schedule: for every vertex v, out[v] = fold(seed[v], out[c1], ...,
+// out[ck]) over v's children, computed with one parallel round per schedule
+// level. fold must be associative and commutative over children
+// (fold(acc, x) applied per child); seeds are not modified.
+func Aggregate(p int, t *Tree, s *Schedule, seed []int32, fold func(acc, child int32) int32) []int32 {
+	n := len(t.Parent)
+	out := make([]int32, n)
+	par.For(p, n, func(lo, hi int) {
+		copy(out[lo:hi], seed[lo:hi])
+	})
+	// Vertices rake bottom-up: when v is raked, out[v] is final; fold it
+	// into the parent. Within a round, all raked vertices have distinct
+	// parents only in general position — siblings can rake together, so
+	// parent folds use a mutex-free two-phase approach: group by parent
+	// sequentially per round (rounds are short) — or, simpler and correct,
+	// fold sequentially within the round. Round work totals O(n).
+	for _, round := range s.Rounds {
+		for _, v := range round {
+			out[t.Parent[v]] = fold(out[t.Parent[v]], out[v])
+		}
+	}
+	return out
+}
+
+// AggregateParallel is Aggregate with intra-round parallelism for
+// commutative idempotent-friendly folds expressed as atomic operations.
+// op is applied with a CAS loop, so it must be commutative and associative
+// (min, max, sum).
+func AggregateParallel(p int, t *Tree, s *Schedule, seed []int32, op func(a, b int32) int32) []int32 {
+	n := len(t.Parent)
+	out := make([]int32, n)
+	par.For(p, n, func(lo, hi int) {
+		copy(out[lo:hi], seed[lo:hi])
+	})
+	for _, round := range s.Rounds {
+		par.ForDynamic(p, len(round), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := round[i]
+				casFold(&out[t.Parent[v]], out[v], op)
+			}
+		})
+	}
+	return out
+}
+
+// SubtreeSum returns, for every vertex, the sum of seed over its subtree.
+func SubtreeSum(p int, t *Tree, seed []int32) []int32 {
+	s := RakeSchedule(p, t)
+	return AggregateParallel(p, t, s, seed, func(a, b int32) int32 { return a + b })
+}
+
+// SubtreeMin returns, for every vertex, the minimum of seed over its
+// subtree.
+func SubtreeMin(p int, t *Tree, seed []int32) []int32 {
+	s := RakeSchedule(p, t)
+	return AggregateParallel(p, t, s, seed, func(a, b int32) int32 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// Height returns the tree height (number of rake rounds).
+func Height(p int, t *Tree) int {
+	return len(RakeSchedule(p, t).Rounds)
+}
+
+// casFold applies out = op(out, v) atomically.
+func casFold(addr *int32, v int32, op func(a, b int32) int32) {
+	for {
+		cur := atomic.LoadInt32(addr)
+		nv := op(cur, v)
+		if nv == cur || atomic.CompareAndSwapInt32(addr, cur, nv) {
+			return
+		}
+	}
+}

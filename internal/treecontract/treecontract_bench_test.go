@@ -1,0 +1,42 @@
+package treecontract
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func BenchmarkSubtreeSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := NewTree(randomParentTree(rng, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := make([]int32, 200_000)
+	for i := range seed {
+		seed[i] = int32(rng.Intn(100))
+	}
+	p := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SubtreeSum(p, tr, seed)
+	}
+}
+
+func BenchmarkExprEval(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	e := randomExpr(rng, 100_000)
+	p := runtime.GOMAXPROCS(0)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.EvalSequential()
+		}
+	})
+	b.Run("contract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.EvalContract(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

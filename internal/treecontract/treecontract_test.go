@@ -1,0 +1,337 @@
+package treecontract
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomParentTree builds a random rooted tree: parent of i is a random
+// earlier vertex.
+func randomParentTree(rng *rand.Rand, n int) []int32 {
+	parent := make([]int32, n)
+	parent[0] = 0
+	for i := 1; i < n; i++ {
+		parent[i] = int32(rng.Intn(i))
+	}
+	return parent
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree([]int32{0, 0, 1}); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+	if _, err := NewTree([]int32{1, 0}); err == nil {
+		t.Error("2-cycle accepted")
+	}
+	if _, err := NewTree([]int32{1, 2, 0}); err == nil {
+		t.Error("3-cycle accepted")
+	}
+	if _, err := NewTree([]int32{5}); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+}
+
+func TestRakeScheduleCoversAllNonRoots(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(500)
+		tr, err := NewTree(randomParentTree(rng, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := RakeSchedule(2, tr)
+		seen := make([]bool, n)
+		for r, round := range s.Rounds {
+			for _, v := range round {
+				if seen[v] {
+					t.Fatalf("vertex %d raked twice", v)
+				}
+				seen[v] = true
+				// All children must have been raked in earlier rounds.
+				_ = r
+			}
+		}
+		count := 0
+		for v := 0; v < n; v++ {
+			if seen[v] {
+				count++
+			}
+			if int(tr.Parent[v]) == v && seen[v] {
+				t.Fatalf("root %d was raked", v)
+			}
+		}
+		if count != n-1 {
+			t.Fatalf("raked %d vertices, want %d", count, n-1)
+		}
+	}
+}
+
+func TestRakeScheduleBottomUpOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr, err := NewTree(randomParentTree(rng, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RakeSchedule(1, tr)
+	rakedAt := make([]int, 300)
+	for i := range rakedAt {
+		rakedAt[i] = 1 << 30 // roots: never
+	}
+	for r, round := range s.Rounds {
+		for _, v := range round {
+			rakedAt[v] = r
+		}
+	}
+	for v := int32(0); v < 300; v++ {
+		if int32(v) == tr.Parent[v] {
+			continue
+		}
+		if rakedAt[v] >= rakedAt[tr.Parent[v]] && rakedAt[tr.Parent[v]] != 1<<30 {
+			t.Fatalf("vertex %d raked at %d, not before parent %d at %d",
+				v, rakedAt[v], tr.Parent[v], rakedAt[tr.Parent[v]])
+		}
+	}
+}
+
+func subtreeSumOracle(parent []int32, seed []int32) []int32 {
+	n := len(parent)
+	out := append([]int32(nil), seed...)
+	// Repeatedly push leaves upward (O(n^2), test-only).
+	order := make([]int32, 0, n)
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		if int(parent[v]) != v {
+			deg[parent[v]]++
+		}
+	}
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if deg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		if int(parent[v]) != int(v) {
+			deg[parent[v]]--
+			if deg[parent[v]] == 0 {
+				queue = append(queue, parent[v])
+			}
+		}
+	}
+	for _, v := range order {
+		if int(parent[v]) != int(v) {
+			out[parent[v]] += out[v]
+		}
+	}
+	return out
+}
+
+func TestSubtreeSumAndMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(400)
+		parent := randomParentTree(rng, n)
+		tr, err := NewTree(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := make([]int32, n)
+		for i := range seed {
+			seed[i] = int32(rng.Intn(1000) - 500)
+		}
+		for _, p := range []int{1, 4} {
+			got := SubtreeSum(p, tr, seed)
+			want := subtreeSumOracle(parent, seed)
+			for v := 0; v < n; v++ {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d p=%d: sum[%d]=%d, want %d", trial, p, v, got[v], want[v])
+				}
+			}
+			gotMin := SubtreeMin(p, tr, seed)
+			// Oracle: brute-force descendant scan.
+			for v := 0; v < n; v++ {
+				mn := seed[v]
+				for d := 0; d < n; d++ {
+					x := int32(d)
+					for x != int32(v) && int(parent[x]) != int(x) {
+						x = parent[x]
+					}
+					if x == int32(v) && seed[d] < mn {
+						mn = seed[d]
+					}
+				}
+				if gotMin[v] != mn {
+					t.Fatalf("trial %d p=%d: min[%d]=%d, want %d", trial, p, v, gotMin[v], mn)
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateSequentialMatchesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	parent := randomParentTree(rng, 500)
+	tr, _ := NewTree(parent)
+	seed := make([]int32, 500)
+	for i := range seed {
+		seed[i] = int32(rng.Intn(100))
+	}
+	s := RakeSchedule(2, tr)
+	sum := func(a, b int32) int32 { return a + b }
+	a := Aggregate(2, tr, s, seed, sum)
+	b := AggregateParallel(4, tr, s, seed, sum)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("vertex %d: %d vs %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestHeight(t *testing.T) {
+	// A path 0<-1<-2<-3: height 3.
+	tr, _ := NewTree([]int32{0, 0, 1, 2})
+	if h := Height(1, tr); h != 3 {
+		t.Errorf("height=%d, want 3", h)
+	}
+	// A star: height 1.
+	tr2, _ := NewTree([]int32{0, 0, 0, 0})
+	if h := Height(1, tr2); h != 1 {
+		t.Errorf("star height=%d, want 1", h)
+	}
+	// Single vertex: height 0.
+	tr3, _ := NewTree([]int32{0})
+	if h := Height(1, tr3); h != 0 {
+		t.Errorf("single height=%d, want 0", h)
+	}
+}
+
+// randomExpr builds a random strict binary expression tree with the given
+// number of leaves.
+func randomExpr(rng *rand.Rand, leaves int) *ExprTree {
+	t := &ExprTree{}
+	// Build bottom-up: maintain a list of subtree roots, repeatedly join
+	// two random ones under a random op.
+	var roots []int32
+	for i := 0; i < leaves; i++ {
+		t.Nodes = append(t.Nodes, ExprNode{Op: Leaf, Left: -1, Right: -1, Value: int64(rng.Intn(1 << 20))})
+		roots = append(roots, int32(len(t.Nodes)-1))
+	}
+	for len(roots) > 1 {
+		i := rng.Intn(len(roots))
+		a := roots[i]
+		roots[i] = roots[len(roots)-1]
+		roots = roots[:len(roots)-1]
+		j := rng.Intn(len(roots))
+		b := roots[j]
+		op := Add
+		if rng.Intn(2) == 0 {
+			op = Mul
+		}
+		t.Nodes = append(t.Nodes, ExprNode{Op: op, Left: a, Right: b})
+		roots[j] = int32(len(t.Nodes) - 1)
+	}
+	t.Root = roots[0]
+	return t
+}
+
+func TestExprEvalSmall(t *testing.T) {
+	// (2 + 3) * 4 = 20
+	e := &ExprTree{
+		Nodes: []ExprNode{
+			{Op: Leaf, Left: -1, Right: -1, Value: 2},
+			{Op: Leaf, Left: -1, Right: -1, Value: 3},
+			{Op: Add, Left: 0, Right: 1},
+			{Op: Leaf, Left: -1, Right: -1, Value: 4},
+			{Op: Mul, Left: 2, Right: 3},
+		},
+		Root: 4,
+	}
+	if got := e.EvalSequential(); got != 20 {
+		t.Fatalf("sequential=%d, want 20", got)
+	}
+	got, err := e.EvalContract(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Fatalf("contract=%d, want 20", got)
+	}
+}
+
+func TestExprEvalSingleLeaf(t *testing.T) {
+	e := &ExprTree{Nodes: []ExprNode{{Op: Leaf, Left: -1, Right: -1, Value: 7}}, Root: 0}
+	got, err := e.EvalContract(2)
+	if err != nil || got != 7 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+}
+
+func TestExprValidate(t *testing.T) {
+	bad := &ExprTree{Nodes: []ExprNode{{Op: Add, Left: 0, Right: 0}}, Root: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("self-children accepted")
+	}
+	leafKid := &ExprTree{Nodes: []ExprNode{{Op: Leaf, Left: 0, Right: -1}}, Root: 0}
+	if err := leafKid.Validate(); err == nil {
+		t.Error("leaf with child accepted")
+	}
+	cyc := &ExprTree{Nodes: []ExprNode{
+		{Op: Add, Left: 1, Right: 2},
+		{Op: Add, Left: 0, Right: 2},
+		{Op: Leaf, Left: -1, Right: -1, Value: 1},
+	}, Root: 0}
+	if err := cyc.Validate(); err == nil {
+		t.Error("shared child accepted")
+	}
+}
+
+func TestQuickExprContractMatchesSequential(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		leaves := int(sz%1000) + 1
+		e := randomExpr(rng, leaves)
+		want := e.EvalSequential()
+		for _, p := range []int{1, 4} {
+			got, err := e.EvalContract(p)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprContractDeepChainShape(t *testing.T) {
+	// A maximally unbalanced tree (caterpillar): contraction must still
+	// finish in O(log n) rounds (indirectly: must not blow up or err).
+	rng := rand.New(rand.NewSource(9))
+	t1 := &ExprTree{}
+	t1.Nodes = append(t1.Nodes, ExprNode{Op: Leaf, Left: -1, Right: -1, Value: 1})
+	cur := int32(0)
+	for i := 0; i < 5000; i++ {
+		t1.Nodes = append(t1.Nodes, ExprNode{Op: Leaf, Left: -1, Right: -1, Value: int64(rng.Intn(100))})
+		leaf := int32(len(t1.Nodes) - 1)
+		op := Add
+		if i%3 == 0 {
+			op = Mul
+		}
+		t1.Nodes = append(t1.Nodes, ExprNode{Op: op, Left: cur, Right: leaf})
+		cur = int32(len(t1.Nodes) - 1)
+	}
+	t1.Root = cur
+	want := t1.EvalSequential()
+	got, err := t1.EvalContract(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("contract=%d, want %d", got, want)
+	}
+}
