@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench fig3 fig4 ablations verify fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify fmt vet clean
 
 all: build test
 
@@ -37,6 +37,14 @@ ablations:
 # Randomized cross-validation of all algorithms.
 verify:
 	$(GO) run ./cmd/bccverify -trials 500
+
+# Machine-readable medians for the four algorithms (CI trend tracking).
+bench-json:
+	$(GO) run ./cmd/bccjson -scale $(SCALE) -reps $(REPS) -o BENCH_1.json
+
+# The gate run before merging: static checks, race-clean tests, and a
+# benchmark snapshot.
+ci: vet race bench-json
 
 fmt:
 	gofmt -l -w .

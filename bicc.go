@@ -24,6 +24,7 @@
 package bicc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -71,7 +72,9 @@ func NewGraphNormalized(n int, edges []Edge) (g *Graph, loops, dups int, err err
 	if n < 0 {
 		return nil, 0, 0, fmt.Errorf("bicc: negative vertex count %d", n)
 	}
-	el := &graph.EdgeList{N: int32(n), Edges: edges}
+	// Copy before wrapping: the EdgeList below must never alias the caller's
+	// slice, or normalization could reorder/truncate the caller's data.
+	el := &graph.EdgeList{N: int32(n), Edges: append([]Edge(nil), edges...)}
 	for i, e := range el.Edges {
 		if e.U < 0 || e.U >= el.N || e.V < 0 || e.V >= el.N {
 			return nil, 0, 0, fmt.Errorf("bicc: edge %d (%d,%d) out of range [0,%d)", i, e.U, e.V, n)
@@ -140,6 +143,11 @@ type Options struct {
 	Algorithm Algorithm
 	// Procs is the number of workers; <= 0 means GOMAXPROCS.
 	Procs int
+	// Context, when non-nil, attaches a deadline/cancellation to the run:
+	// all four algorithms poll it cooperatively and return its error
+	// (context.Canceled or context.DeadlineExceeded) promptly once it is
+	// done. BiconnectedComponentsCtx overrides this field.
+	Context context.Context
 }
 
 // PhaseTiming is one timed step of the algorithm (the Fig. 4 breakdown).
@@ -166,14 +174,38 @@ type Result struct {
 // ErrNilGraph is returned when a nil graph is supplied.
 var ErrNilGraph = errors.New("bicc: nil graph")
 
-// BiconnectedComponents computes the block decomposition of g.
+// BiconnectedComponents computes the block decomposition of g. When
+// opt.Context is non-nil the run honors its deadline/cancellation; see
+// BiconnectedComponentsCtx.
 func BiconnectedComponents(g *Graph, opt *Options) (*Result, error) {
+	var ctx context.Context
+	if opt != nil {
+		ctx = opt.Context
+	}
+	return BiconnectedComponentsCtx(ctx, g, opt)
+}
+
+// BiconnectedComponentsCtx computes the block decomposition of g under ctx:
+// the algorithms poll the context cooperatively (between pipeline phases and
+// inside the engines' parallel loops) and return ctx's error promptly once
+// it is canceled or its deadline passes. A nil ctx means
+// context.Background(). The ctx argument takes precedence over opt.Context.
+func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Result, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
 	var o Options
 	if opt != nil {
 		o = *opt
+	}
+	var cancel *par.Canceler
+	if ctx != nil && ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cancel = &par.Canceler{}
+		stop := cancel.Watch(ctx)
+		defer stop()
 	}
 	p := par.Procs(o.Procs)
 	algo := o.Algorithm
@@ -193,13 +225,13 @@ func BiconnectedComponents(g *Graph, opt *Options) (*Result, error) {
 	)
 	switch algo {
 	case Sequential:
-		res = core.Sequential(g.el)
+		res, err = core.SequentialC(cancel, g.el)
 	case TVSMP:
-		res, err = core.TVSMP(p, g.el)
+		res, err = core.TVSMPC(cancel, p, g.el)
 	case TVOpt:
-		res, err = core.TVOpt(p, g.el)
+		res, err = core.TVOptC(cancel, p, g.el)
 	case TVFilter:
-		res, err = core.TVFilter(p, g.el)
+		res, err = core.TVFilterC(cancel, p, g.el)
 	default:
 		return nil, fmt.Errorf("bicc: unknown algorithm %v", o.Algorithm)
 	}

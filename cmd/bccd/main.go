@@ -1,0 +1,142 @@
+// Command bccd runs the biconnected-components query service: a long-lived
+// HTTP/JSON daemon that keeps parsed graphs resident, coalesces identical
+// in-flight queries, caches results, and bounds concurrent engine runs.
+//
+// Usage:
+//
+//	bccd [-addr :8714] [-workers N] [-queue N] [-cache N]
+//	     [-max-graph-bytes B] [-timeout D] [-allow-local-files]
+//	     [-load name=path ...]
+//
+// Endpoints:
+//
+//	POST   /v1/graphs        upload a graph (?format=text|dimacs|binary,
+//	                         ?normalize=1, ?name=label)
+//	POST   /v1/graphs/open   load a graph file server-side (gated by
+//	                         -allow-local-files)
+//	GET    /v1/graphs        list resident graphs
+//	GET    /v1/graphs/{fp}   one graph's info
+//	DELETE /v1/graphs/{fp}   evict a graph
+//	POST   /v1/bcc           run a query: {"graph": fp, "algorithm": ...,
+//	                         "procs": N, "timeout_ms": T, "include": [...]}
+//	GET    /healthz          liveness
+//	GET    /statsz           cache hit rate, queue depth, latency histograms
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"bicc"
+	"bicc/internal/service"
+)
+
+// loadFlags collects repeated -load name=path arguments.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("bccd: ")
+
+	addr := flag.String("addr", ":8714", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent engine computations (0 = GOMAXPROCS/2)")
+	queue := flag.Int("queue", -1, "max queued computations (-1 = 4x workers)")
+	cacheEntries := flag.Int("cache", 0, "max cached query results (0 = 256)")
+	maxGraphBytes := flag.Int64("max-graph-bytes", 0, "graph registry byte budget (0 = 1 GiB)")
+	timeout := flag.Duration("timeout", 0, "default per-query timeout (0 = 60s)")
+	allowLocal := flag.Bool("allow-local-files", false, "enable POST /v1/graphs/open (server-side file reads)")
+	var loads loadFlags
+	flag.Var(&loads, "load", "preload a graph at startup: name=path or just path (repeatable; format by extension)")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		CacheEntries:    *cacheEntries,
+		MaxGraphBytes:   *maxGraphBytes,
+		DefaultTimeout:  *timeout,
+		AllowLocalFiles: *allowLocal,
+	})
+	for _, spec := range loads {
+		name, fp, err := preload(srv, spec)
+		if err != nil {
+			log.Fatalf("-load %s: %v", spec, err)
+		}
+		log.Printf("preloaded %s as %s (%s)", spec, fp, name)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%v: draining", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	snap := srv.Snapshot()
+	log.Printf("served %d queries (hit rate %.0f%%, %d computations), bye",
+		snap.Requests, 100*snap.CacheHitRate, snap.Computations)
+}
+
+// preload parses one -load spec ("name=path" or "path") and registers the
+// graph, normalizing so dirty inputs don't abort startup.
+func preload(srv *service.Server, spec string) (name, fp string, err error) {
+	path := spec
+	if i := strings.IndexByte(spec, '='); i >= 0 {
+		name, path = spec[:i], spec[i+1:]
+	}
+	if name == "" {
+		name = filepath.Base(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", "", err
+	}
+	defer f.Close()
+	var g *bicc.Graph
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bin", ".bicc":
+		g, err = bicc.ReadGraphBinary(f)
+	case ".col", ".dimacs":
+		g, err = bicc.ReadGraphDIMACS(f)
+	default:
+		g, err = bicc.ReadGraph(f)
+	}
+	if err != nil {
+		return "", "", fmt.Errorf("parsing: %w", err)
+	}
+	fp, _ = srv.Registry().Add(name, g)
+	return name, fp, nil
+}

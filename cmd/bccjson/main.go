@@ -1,0 +1,104 @@
+// Command bccjson times the paper's four algorithms on the scaled random
+// instance and writes the medians as machine-readable JSON, for CI trend
+// tracking and external dashboards.
+//
+// Usage:
+//
+//	bccjson [-scale 0.1] [-reps 3] [-p procs] [-all] [-o BENCH_1.json]
+//
+// By default only the first paper instance (m = 4n) is timed; -all sweeps
+// the full Fig. 3 workload.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"bicc/internal/bench"
+)
+
+type benchRecord struct {
+	Instance  string  `json:"instance"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Algorithm string  `json:"algorithm"`
+	Procs     int     `json:"procs"`
+	MedianNs  int64   `json:"median_ns_op"`
+	Speedup   float64 `json:"speedup_vs_sequential"`
+}
+
+type benchReport struct {
+	Scale      float64       `json:"scale"`
+	Reps       int           `json:"reps"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bccjson: ")
+	scale := flag.Float64("scale", 0.1, "instance scale relative to the paper's n=1M")
+	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
+	procs := flag.Int("p", 0, "worker count for the parallel algorithms (0 = GOMAXPROCS)")
+	all := flag.Bool("all", false, "time every paper instance, not just m=4n")
+	out := flag.String("o", "BENCH_1.json", "output file (- for stdout)")
+	flag.Parse()
+
+	p := *procs
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	instances := bench.PaperInstances(*scale)
+	if !*all {
+		instances = instances[:1]
+	}
+	report := benchReport{Scale: *scale, Reps: *reps, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, in := range instances {
+		g := in.Build()
+		var seqTime time.Duration
+		for _, algo := range bench.Algos() {
+			ap := p
+			if algo.Name == "sequential" {
+				ap = 1
+			}
+			m, err := bench.Run(in, g, algo, ap, *reps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if algo.Name == "sequential" {
+				seqTime = m.Time
+			}
+			report.Benchmarks = append(report.Benchmarks, benchRecord{
+				Instance:  in.Name,
+				N:         in.N,
+				M:         in.M,
+				Algorithm: m.Algo,
+				Procs:     ap,
+				MedianNs:  int64(m.Time),
+				Speedup:   m.Speedup(seqTime),
+			})
+			log.Printf("%-8s %-10s p=%-2d median %v", in.Name, m.Algo, ap, m.Time.Round(time.Microsecond))
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d measurements)\n", *out, len(report.Benchmarks))
+}

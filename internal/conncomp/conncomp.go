@@ -23,6 +23,14 @@ import (
 // the paper's arbitrary CRCW PRAM model) cannot livelock; atomics make the
 // races well-defined under the Go memory model.
 func ShiloachVishkin(p int, n int32, edges []graph.Edge) []int32 {
+	return ShiloachVishkinC(nil, p, n, edges)
+}
+
+// ShiloachVishkinC is ShiloachVishkin with cooperative cancellation, polled
+// between graft/shortcut rounds and inside the edge scan. When c trips the
+// returned labels are incomplete — callers must check c.Err() and discard
+// them.
+func ShiloachVishkinC(c *par.Canceler, p int, n int32, edges []graph.Edge) []int32 {
 	d := make([]int32, n)
 	par.For(p, int(n), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -34,9 +42,12 @@ func ShiloachVishkin(p int, n int32, edges []graph.Edge) []int32 {
 	}
 	var changed atomic.Bool
 	for {
+		if c.Err() != nil {
+			return d
+		}
 		changed.Store(false)
 		// Graft phase: hook the root of the larger label onto the smaller.
-		par.ForDynamic(p, len(edges), 0, func(lo, hi int) {
+		par.ForDynamicC(c, p, len(edges), 0, func(lo, hi int) {
 			localChanged := false
 			for i := lo; i < hi; i++ {
 				e := edges[i]

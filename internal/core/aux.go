@@ -91,11 +91,14 @@ func buildAux(p int, edges []graph.Edge, isTree []bool, td *treecomp.TreeData, l
 // identity); TV-filter uses it to overlay results computed on the reduced
 // graph onto the full edge list. Labels are raw (not densified) so callers
 // can keep translating filtered edges before calling finishResult.
-func tvTail(p int, sw *stopwatch, edges []graph.Edge, isTree []bool,
+func tvTail(c *par.Canceler, p int, sw *stopwatch, edges []graph.Edge, isTree []bool,
 	td *treecomp.TreeData, low, high []int32, edgeComp []int32, origID []int32) {
 	aux := buildAux(p, edges, isTree, td, low, high)
 	sw.lap(PhaseLabelEdge)
-	labels := conncomp.ShiloachVishkin(p, aux.n, aux.edges)
+	labels := conncomp.ShiloachVishkinC(c, p, aux.n, aux.edges)
+	if c.Err() != nil {
+		return
+	}
 	n := td.N
 	par.For(p, len(edges), func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bicc/internal/graph"
+	"bicc/internal/par"
 )
 
 // TVFilter is the paper's new algorithm (§4, Alg. 2): filter out nontree
@@ -19,6 +20,11 @@ import (
 // Connected-components steps — the Fig. 3/4 win.
 func TVFilter(p int, g *graph.EdgeList) (*Result, error) {
 	return Custom(p, g, Config{SpanningTree: SpanBFS, Filter: true})
+}
+
+// TVFilterC is TVFilter with cooperative cancellation.
+func TVFilterC(c *par.Canceler, p int, g *graph.EdgeList) (*Result, error) {
+	return Custom(p, g, Config{SpanningTree: SpanBFS, Filter: true, Cancel: c})
 }
 
 // FilteredEdgeCount reports how many edges TV-filter is guaranteed to

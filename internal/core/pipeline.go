@@ -53,6 +53,10 @@ type Config struct {
 	SpanningTree SpanningTreeKind
 	Ranker       RankerKind // used only with SpanSV
 	LowHigh      LowHighKind
+	// Cancel, when non-nil, is polled inside the engines' parallel loops and
+	// between pipeline phases; tripping it makes Custom return the
+	// cancellation cause promptly instead of finishing the run.
+	Cancel *par.Canceler
 	// Filter enables the §4 edge filtering. It requires SpanBFS: the
 	// correctness lemmas (Lemma 1/2, Theorem 2) hold only for BFS trees.
 	Filter bool
@@ -82,7 +86,10 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 	)
 	switch cfg.SpanningTree {
 	case SpanSV:
-		f := spantree.SV(p, g.N, g.Edges)
+		f := spantree.SVC(cfg.Cancel, p, g.N, g.Edges)
+		if err := cfg.Cancel.Err(); err != nil {
+			return nil, err
+		}
 		roots := rootsFromLabels(f.Labels)
 		isTree = f.Mark(p, mGlobal)
 		sw.lap(PhaseSpanningTree)
@@ -94,14 +101,20 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 	case SpanWorkStealing, SpanBFS:
 		c := graph.ToCSR(p, g)
 		if cfg.SpanningTree == SpanWorkStealing {
-			rooted = spantree.WorkStealing(p, c)
+			rooted = spantree.WorkStealingC(cfg.Cancel, p, c)
 		} else {
-			rooted = spantree.BFS(p, c)
+			rooted = spantree.BFSC(cfg.Cancel, p, c)
+		}
+		if err := cfg.Cancel.Err(); err != nil {
+			return nil, err
 		}
 		isTree = rooted.TreeEdgeMark(p, mGlobal)
 		sw.lap(PhaseSpanningTree)
 	default:
 		return nil, fmt.Errorf("core: unknown spanning tree kind %d", cfg.SpanningTree)
+	}
+	if err := cfg.Cancel.Err(); err != nil {
+		return nil, err
 	}
 
 	// Optional filtering (between tree construction and the tour, as in
@@ -111,7 +124,10 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 	var origID []int32 // reduced -> global edge ids
 	var keep []bool
 	if cfg.Filter {
-		edges, edgeIsTree, origID, keep = filterNonEssential(p, g, rooted, isTree)
+		edges, edgeIsTree, origID, keep = filterNonEssential(cfg.Cancel, p, g, rooted, isTree)
+		if err := cfg.Cancel.Err(); err != nil {
+			return nil, err
+		}
 		sw.lap(PhaseFiltering)
 	}
 
@@ -136,6 +152,9 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Cancel.Err(); err != nil {
+		return nil, err
+	}
 	sw.lap(PhaseRoot)
 
 	// Step 4: low/high.
@@ -145,11 +164,17 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 	} else {
 		low, high = treecomp.LowHigh(p, td, edges, edgeIsTree)
 	}
+	if err := cfg.Cancel.Err(); err != nil {
+		return nil, err
+	}
 	sw.lap(PhaseLowHigh)
 
 	// Steps 5–6 plus the filtered-edge relabeling.
 	edgeComp := make([]int32, mGlobal)
-	tvTail(p, sw, edges, edgeIsTree, td, low, high, edgeComp, origID)
+	tvTail(cfg.Cancel, p, sw, edges, edgeIsTree, td, low, high, edgeComp, origID)
+	if err := cfg.Cancel.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Filter {
 		par.For(p, mGlobal, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -173,7 +198,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 // compute a spanning forest F of G−T and keep only T ∪ F. It returns the
 // reduced edge list, its tree mask, the reduced→global id map, and the
 // global keep mask.
-func filterNonEssential(p int, g *graph.EdgeList, t *spantree.RootedForest, inT []bool) (
+func filterNonEssential(c *par.Canceler, p int, g *graph.EdgeList, t *spantree.RootedForest, inT []bool) (
 	reduced []graph.Edge, reducedIsTree []bool, origID []int32, keep []bool) {
 	m := len(g.Edges)
 	nontreeIDs := prefix.Compact(p, m, func(i int) bool { return !inT[i] })
@@ -183,7 +208,10 @@ func filterNonEssential(p int, g *graph.EdgeList, t *spantree.RootedForest, inT 
 			nontreeEdges[i] = g.Edges[nontreeIDs[i]]
 		}
 	})
-	ff := spantree.SV(p, g.N, nontreeEdges)
+	ff := spantree.SVC(c, p, g.N, nontreeEdges)
+	if c.Err() != nil {
+		return nil, nil, nil, make([]bool, m)
+	}
 	keep = make([]bool, m)
 	par.For(p, m, func(lo, hi int) {
 		copy(keep[lo:hi], inT[lo:hi])

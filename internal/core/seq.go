@@ -2,6 +2,7 @@ package core
 
 import (
 	"bicc/internal/graph"
+	"bicc/internal/par"
 )
 
 // Sequential computes biconnected components with Tarjan's linear-time
@@ -11,6 +12,14 @@ import (
 // explicit DFS stack avoids goroutine-stack limits on deep graphs such as
 // the paper's pathological chain.
 func Sequential(g *graph.EdgeList) *Result {
+	res, _ := SequentialC(nil, g)
+	return res
+}
+
+// SequentialC is Sequential with cooperative cancellation, polled every few
+// thousand DFS steps; it returns the cancellation cause when c trips
+// mid-run.
+func SequentialC(cn *par.Canceler, g *graph.EdgeList) (*Result, error) {
 	sw := newStopwatch()
 	c := graph.ToCSR(1, g)
 	n := int(g.N)
@@ -37,6 +46,7 @@ func Sequential(g *graph.EdgeList) *Result {
 	edgeStack := make([]int32, 0, m)
 	var timer int32
 	var numComp int32
+	var steps int
 	for s := int32(0); s < int32(n); s++ {
 		if disc[s] != -1 {
 			continue
@@ -46,6 +56,12 @@ func Sequential(g *graph.EdgeList) *Result {
 		timer++
 		stack = append(stack[:0], frame{v: s, cursor: c.Off[s], viaEdge: -1})
 		for len(stack) > 0 {
+			steps++
+			if steps&0xfff == 0 {
+				if err := cn.Err(); err != nil {
+					return nil, err
+				}
+			}
 			fr := &stack[len(stack)-1]
 			v := fr.v
 			if fr.cursor < c.Off[v+1] {
@@ -98,5 +114,5 @@ func Sequential(g *graph.EdgeList) *Result {
 		}
 	}
 	sw.lap("sequential-dfs")
-	return &Result{NumComp: int(numComp), EdgeComp: edgeComp, Phases: sw.phases}
+	return &Result{NumComp: int(numComp), EdgeComp: edgeComp, Phases: sw.phases}, nil
 }

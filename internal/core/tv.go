@@ -2,6 +2,7 @@ package core
 
 import (
 	"bicc/internal/graph"
+	"bicc/internal/par"
 )
 
 // TVSMP is the coarse-grained SMP emulation of the original Tarjan–Vishkin
@@ -21,6 +22,11 @@ func TVSMP(p int, g *graph.EdgeList) (*Result, error) {
 	return Custom(p, g, Config{SpanningTree: SpanSV, Ranker: RankHelmanJaja})
 }
 
+// TVSMPC is TVSMP with cooperative cancellation.
+func TVSMPC(c *par.Canceler, p int, g *graph.EdgeList) (*Result, error) {
+	return Custom(p, g, Config{SpanningTree: SpanSV, Ranker: RankHelmanJaja, Cancel: c})
+}
+
 // TVSMPWyllie is TVSMP with Wyllie pointer jumping instead of Helman–JáJá
 // list ranking — the ablation knob isolating the tree-computation cost.
 func TVSMPWyllie(p int, g *graph.EdgeList) (*Result, error) {
@@ -34,6 +40,11 @@ func TVSMPWyllie(p int, g *graph.EdgeList) (*Result, error) {
 // ranking. Steps 4–6 are shared with TV-SMP.
 func TVOpt(p int, g *graph.EdgeList) (*Result, error) {
 	return Custom(p, g, Config{SpanningTree: SpanWorkStealing})
+}
+
+// TVOptC is TVOpt with cooperative cancellation.
+func TVOptC(c *par.Canceler, p int, g *graph.EdgeList) (*Result, error) {
+	return Custom(p, g, Config{SpanningTree: SpanWorkStealing, Cancel: c})
 }
 
 // rootsFromLabels extracts one representative vertex per component from the

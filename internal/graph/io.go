@@ -38,6 +38,20 @@ func Write(w io.Writer, g *EdgeList) error {
 
 // Read parses the text edge-list format and validates the result.
 func Read(r io.Reader) (*EdgeList, error) {
+	g, err := ReadLenient(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadLenient parses the text edge-list format without validating edges,
+// for callers that Normalize afterwards (self loops and duplicates pass
+// through; the header/shape checks still apply).
+func ReadLenient(r io.Reader) (*EdgeList, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var g *EdgeList
@@ -83,9 +97,6 @@ func Read(r io.Reader) (*EdgeList, error) {
 	}
 	if len(g.Edges) != declared {
 		return nil, fmt.Errorf("graph: header declares %d edges, found %d", declared, len(g.Edges))
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
 	}
 	return g, nil
 }

@@ -128,6 +128,19 @@ func WriteBinary(w io.Writer, g *EdgeList) error {
 
 // ReadBinary parses the binary format and validates the result.
 func ReadBinary(r io.Reader) (*EdgeList, error) {
+	g, err := ReadBinaryLenient(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadBinaryLenient parses the binary format without validating edges, for
+// callers that Normalize afterwards.
+func ReadBinaryLenient(r io.Reader) (*EdgeList, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -155,9 +168,6 @@ func ReadBinary(r io.Reader) (*EdgeList, error) {
 			U: int32(binary.LittleEndian.Uint32(rec[0:])),
 			V: int32(binary.LittleEndian.Uint32(rec[4:])),
 		}
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
 	}
 	return g, nil
 }

@@ -1,0 +1,132 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCancelerNilSafe(t *testing.T) {
+	var c *Canceler
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil canceler Err = %v, want nil", err)
+	}
+	c.Cancel(errors.New("ignored")) // must not panic
+	stop := c.Watch(context.Background())
+	stop()
+}
+
+func TestCancelerFirstCauseWins(t *testing.T) {
+	c := &Canceler{}
+	if c.Err() != nil {
+		t.Fatal("fresh canceler already tripped")
+	}
+	e1 := errors.New("first")
+	e2 := errors.New("second")
+	c.Cancel(nil) // ignored
+	if c.Err() != nil {
+		t.Fatal("Cancel(nil) tripped the token")
+	}
+	c.Cancel(e1)
+	c.Cancel(e2)
+	if got := c.Err(); got != e1 {
+		t.Fatalf("Err = %v, want first cause %v", got, e1)
+	}
+}
+
+func TestCancelerWatchContext(t *testing.T) {
+	c := &Canceler{}
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := c.Watch(ctx)
+	defer stop()
+	if c.Err() != nil {
+		t.Fatal("tripped before context canceled")
+	}
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.Err(); !errors.Is(got, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", got)
+	}
+}
+
+func TestCancelerWatchExpiredContext(t *testing.T) {
+	c := &Canceler{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stop := c.Watch(ctx)
+	defer stop()
+	if got := c.Err(); !errors.Is(got, context.Canceled) {
+		t.Fatalf("expired context did not trip synchronously: %v", got)
+	}
+}
+
+func TestForCCoversRangeWhenNotCanceled(t *testing.T) {
+	for _, p := range []int{1, 2, 7} {
+		for _, n := range []int{0, 1, 100, 3 * cancelGrain} {
+			c := &Canceler{}
+			var sum atomic.Int64
+			ForC(c, p, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					sum.Add(int64(i))
+				}
+			})
+			want := int64(n) * int64(n-1) / 2
+			if n == 0 {
+				want = 0
+			}
+			if sum.Load() != want {
+				t.Fatalf("p=%d n=%d: sum = %d, want %d", p, n, sum.Load(), want)
+			}
+		}
+	}
+}
+
+func TestForCStopsAfterCancel(t *testing.T) {
+	c := &Canceler{}
+	cause := errors.New("stop")
+	n := 64 * cancelGrain
+	var visited atomic.Int64
+	ForC(c, 4, n, func(lo, hi int) {
+		visited.Add(int64(hi - lo))
+		c.Cancel(cause)
+	})
+	// Each worker processes at most one chunk after the trip; with 4 workers
+	// that bounds the visited count well below n.
+	if v := visited.Load(); v >= int64(n) {
+		t.Fatalf("visited %d of %d items despite cancellation", v, n)
+	}
+	if c.Err() != cause {
+		t.Fatalf("Err = %v, want %v", c.Err(), cause)
+	}
+}
+
+func TestForDynamicCStopsAfterCancel(t *testing.T) {
+	c := &Canceler{}
+	cause := errors.New("stop")
+	n := 1 << 20
+	var visited atomic.Int64
+	ForDynamicC(c, 4, n, 1024, func(lo, hi int) {
+		visited.Add(int64(hi - lo))
+		c.Cancel(cause)
+	})
+	if v := visited.Load(); v >= int64(n) {
+		t.Fatalf("visited %d of %d items despite cancellation", v, n)
+	}
+}
+
+func TestForDynamicCNilIsForDynamic(t *testing.T) {
+	var sum atomic.Int64
+	ForDynamicC(nil, 3, 1000, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if want := int64(1000 * 999 / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}

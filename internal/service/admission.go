@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Admission.Acquire when the waiting queue is at
+// capacity; HTTP handlers translate it into 429 + Retry-After.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// Admission is the service's engine-protection valve: at most `workers`
+// computations run concurrently, at most `queue` more may wait for a slot,
+// and everything beyond that is rejected immediately. The engine itself
+// parallelizes internally, so workers is typically a small number sized off
+// GOMAXPROCS — admitting more computations than cores just makes all of
+// them slower and risks memory exhaustion on paper-scale graphs.
+type Admission struct {
+	slots    chan struct{} // capacity = workers
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	queueCap int64
+}
+
+// NewAdmission returns a valve with the given concurrency and queue bounds.
+// workers is forced to at least 1; queue may be 0, which rejects whenever
+// every worker is busy.
+func NewAdmission(workers, queue int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Admission{
+		slots:    make(chan struct{}, workers),
+		queueCap: int64(queue),
+	}
+}
+
+// Acquire claims a computation slot, waiting in the bounded queue if all
+// slots are busy. It returns ErrQueueFull when the queue is at capacity and
+// ctx.Err() when the caller gives up first. The returned release function
+// must be called exactly once when the computation finishes.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot means no queueing at all.
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return a.releaseFn(), nil
+	default:
+	}
+	// Slow path: enter the bounded queue.
+	if a.waiting.Add(1) > a.queueCap {
+		a.waiting.Add(-1)
+		return nil, ErrQueueFull
+	}
+	defer a.waiting.Add(-1)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return a.releaseFn(), nil
+	case <-done:
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) releaseFn() func() {
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			a.inflight.Add(-1)
+			<-a.slots
+		}
+	}
+}
+
+// QueueDepth returns the number of computations waiting for a slot.
+func (a *Admission) QueueDepth() int { return int(a.waiting.Load()) }
+
+// Inflight returns the number of computations currently running.
+func (a *Admission) Inflight() int { return int(a.inflight.Load()) }
+
+// Workers returns the concurrency bound.
+func (a *Admission) Workers() int { return cap(a.slots) }

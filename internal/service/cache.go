@@ -1,0 +1,170 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"bicc"
+)
+
+// resultKey identifies a cacheable computation: same graph content, same
+// algorithm, same worker count. Procs is part of the key because the
+// algorithm actually run (and its phase timings) depend on it — Auto
+// resolves to Sequential at p=1.
+type resultKey struct {
+	fp    string
+	algo  bicc.Algorithm
+	procs int
+}
+
+// cacheEntry is one computation, either in flight or completed. ready is
+// closed exactly once when res/err become valid.
+type cacheEntry struct {
+	ready chan struct{}
+	res   *queryResult
+	err   error
+
+	// waiters counts requests currently interested in the computation; when
+	// it drops to zero before completion the computation's context is
+	// canceled (nobody wants the answer anymore). Guarded by the cache mu.
+	waiters int
+	cancel  context.CancelFunc
+	done    bool
+	elem    *list.Element // LRU position once completed
+}
+
+// ResultCache is a single-flight LRU cache of BCC query results. Concurrent
+// queries for the same (graph, algorithm, procs) coalesce onto one engine
+// computation; completed results are kept for maxEntries keys and evicted
+// least recently used.
+//
+// Errors are never cached: a failed or canceled computation is forgotten so
+// the next identical query retries from scratch.
+type ResultCache struct {
+	mu         sync.Mutex
+	entries    map[resultKey]*cacheEntry
+	lru        *list.List // of resultKey, front = most recent
+	maxEntries int
+}
+
+// NewResultCache returns a cache holding up to maxEntries completed results;
+// maxEntries <= 0 disables retention (single-flight coalescing still works).
+func NewResultCache(maxEntries int) *ResultCache {
+	return &ResultCache{
+		entries:    map[resultKey]*cacheEntry{},
+		lru:        list.New(),
+		maxEntries: maxEntries,
+	}
+}
+
+// Len returns the number of completed cached results.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Outcome classifies how a Do call was served, for stats.
+type Outcome int
+
+const (
+	// OutcomeHit means the result was already cached.
+	OutcomeHit Outcome = iota
+	// OutcomeMiss means this call started the computation.
+	OutcomeMiss
+	// OutcomeCoalesced means this call joined an in-flight computation.
+	OutcomeCoalesced
+)
+
+// Do returns the cached result for key, joining an in-flight computation or
+// starting a new one via compute. compute receives a context that is
+// canceled when every request waiting on the computation has gone away; it
+// runs in its own goroutine so a caller abandoning the wait (ctx done) does
+// not abort the computation for the others.
+func (c *ResultCache) Do(ctx context.Context, key resultKey,
+	compute func(ctx context.Context) (*queryResult, error)) (*queryResult, error, Outcome) {
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.done {
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+			res, err := e.res, e.err
+			c.mu.Unlock()
+			return res, err, OutcomeHit
+		}
+		e.waiters++
+		c.mu.Unlock()
+		return c.wait(ctx, key, e, OutcomeCoalesced)
+	}
+
+	base := context.Background()
+	if ctx != nil {
+		// Detach from the caller's cancellation but keep its values; the
+		// computation's lifetime is governed by the waiter count, not by
+		// whichever request happened to arrive first.
+		base = context.WithoutCancel(ctx)
+	}
+	cctx, cancel := context.WithCancel(base)
+	e := &cacheEntry{ready: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	go func() {
+		res, err := compute(cctx)
+		c.mu.Lock()
+		e.res, e.err = res, err
+		e.done = true
+		e.cancel = nil
+		close(e.ready)
+		cancel()
+		if err != nil || c.maxEntries <= 0 || c.entries[key] != e {
+			// Never cache failures, and don't resurrect an entry every
+			// waiter abandoned (wait already removed it from the map).
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+		} else {
+			e.elem = c.lru.PushFront(key)
+			for c.lru.Len() > c.maxEntries {
+				back := c.lru.Back()
+				c.lru.Remove(back)
+				delete(c.entries, back.Value.(resultKey))
+			}
+		}
+		c.mu.Unlock()
+	}()
+
+	return c.wait(ctx, key, e, OutcomeMiss)
+}
+
+// wait blocks until the entry completes or the caller's context is done,
+// maintaining the entry's waiter count.
+func (c *ResultCache) wait(ctx context.Context, key resultKey, e *cacheEntry, oc Outcome) (*queryResult, error, Outcome) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-e.ready:
+		c.mu.Lock()
+		e.waiters--
+		res, err := e.res, e.err
+		c.mu.Unlock()
+		return res, err, oc
+	case <-done:
+		c.mu.Lock()
+		e.waiters--
+		if e.waiters == 0 && !e.done && e.cancel != nil {
+			// Last interested request left: stop the engine.
+			e.cancel()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err(), oc
+	}
+}

@@ -1,0 +1,247 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"bicc"
+)
+
+// Fingerprint returns the content fingerprint of a graph: a 64-bit FNV-1a
+// hash over the vertex count and the edge list in order, rendered as 16 hex
+// digits. Identical uploads always map to the same registry entry, so
+// clients can address graphs by content instead of by upload id.
+func Fingerprint(g *bicc.Graph) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.NumVertices()))
+	h.Write(buf[:])
+	for _, e := range g.Edges() {
+		binary.LittleEndian.PutUint32(buf[0:], uint32(e.U))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e.V))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// GraphInfo is the public description of a registered graph.
+type GraphInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	Name        string `json:"name,omitempty"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	Bytes       int64  `json:"bytes"`
+	Refs        int    `json:"refs"`
+}
+
+// regEntry is one registered graph plus its bookkeeping.
+type regEntry struct {
+	info    GraphInfo
+	g       *bicc.Graph
+	refs    int
+	lastUse time.Time
+	dead    bool // removed while referenced; drop on last release
+}
+
+// Registry is a concurrent, content-addressed store of loaded graphs.
+// Entries are reference-counted: queries Acquire a graph for the duration of
+// a computation, which pins it against eviction. When the resident size
+// exceeds maxBytes, unreferenced entries are evicted least-recently-used
+// first; referenced entries are never evicted, so the registry can
+// transiently exceed its budget under load rather than break running
+// queries.
+type Registry struct {
+	mu       sync.Mutex
+	entries  map[string]*regEntry
+	maxBytes int64
+	bytes    int64
+	evicted  int64
+}
+
+// NewRegistry returns a registry with the given resident-size budget in
+// bytes; maxBytes <= 0 means unlimited.
+func NewRegistry(maxBytes int64) *Registry {
+	return &Registry{entries: map[string]*regEntry{}, maxBytes: maxBytes}
+}
+
+// graphBytes estimates the resident size of a graph: 8 bytes per edge plus
+// slice headers; CSR conversions made during queries are transient and not
+// charged.
+func graphBytes(g *bicc.Graph) int64 {
+	return int64(g.NumEdges())*8 + 64
+}
+
+// Add registers g under its content fingerprint and returns the fingerprint.
+// Re-adding an identical graph is an idempotent no-op that refreshes the
+// entry's recency (existed=true). Name is a client-supplied label kept for
+// listings only.
+func (r *Registry) Add(name string, g *bicc.Graph) (fp string, existed bool) {
+	fp = Fingerprint(g)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[fp]; ok && !e.dead {
+		e.lastUse = time.Now()
+		if name != "" {
+			e.info.Name = name
+		}
+		return fp, true
+	}
+	e := &regEntry{
+		info: GraphInfo{
+			Fingerprint: fp,
+			Name:        name,
+			Vertices:    g.NumVertices(),
+			Edges:       g.NumEdges(),
+			Bytes:       graphBytes(g),
+		},
+		g:       g,
+		lastUse: time.Now(),
+	}
+	r.entries[fp] = e
+	r.bytes += e.info.Bytes
+	r.evictLocked(e)
+	return fp, false
+}
+
+// Acquire pins the graph with the given fingerprint and returns it. The
+// caller must Release exactly once when done.
+func (r *Registry) Acquire(fp string) (*bicc.Graph, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[fp]
+	if !ok || e.dead {
+		return nil, false
+	}
+	e.refs++
+	e.lastUse = time.Now()
+	return e.g, true
+}
+
+// Release unpins a graph previously Acquired. Releasing the last reference
+// to a removed entry deletes it.
+func (r *Registry) Release(fp string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[fp]
+	if !ok {
+		return
+	}
+	if e.refs > 0 {
+		e.refs--
+	}
+	if e.dead && e.refs == 0 {
+		r.deleteLocked(fp, e)
+	}
+}
+
+// Remove unregisters a graph. If queries still hold references, the entry is
+// hidden immediately (no new Acquires) and reclaimed when the last reference
+// is released. It reports whether the fingerprint was present.
+func (r *Registry) Remove(fp string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[fp]
+	if !ok || e.dead {
+		return false
+	}
+	if e.refs > 0 {
+		e.dead = true
+		return true
+	}
+	r.deleteLocked(fp, e)
+	return true
+}
+
+// Get returns the info for one fingerprint.
+func (r *Registry) Get(fp string) (GraphInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[fp]
+	if !ok || e.dead {
+		return GraphInfo{}, false
+	}
+	info := e.info
+	info.Refs = e.refs
+	return info, true
+}
+
+// List returns all live entries sorted by fingerprint.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.dead {
+			continue
+		}
+		info := e.info
+		info.Refs = e.refs
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// Bytes returns the resident size of all entries (including dead ones not
+// yet reclaimed).
+func (r *Registry) Bytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// Len returns the number of live entries.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.entries {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Evicted returns how many entries have been evicted for space so far.
+func (r *Registry) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}
+
+func (r *Registry) deleteLocked(fp string, e *regEntry) {
+	delete(r.entries, fp)
+	r.bytes -= e.info.Bytes
+}
+
+// evictLocked drops unreferenced entries, least recently used first, until
+// the budget is met or only pinned entries remain. keep, when non-nil, is
+// exempt — the entry being added must survive its own Add even if it alone
+// blows the budget, or uploads would succeed and immediately vanish.
+func (r *Registry) evictLocked(keep *regEntry) {
+	if r.maxBytes <= 0 {
+		return
+	}
+	for r.bytes > r.maxBytes {
+		var victimFP string
+		var victim *regEntry
+		for fp, e := range r.entries {
+			if e.refs > 0 || e.dead || e == keep {
+				continue
+			}
+			if victim == nil || e.lastUse.Before(victim.lastUse) {
+				victimFP, victim = fp, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		r.deleteLocked(victimFP, victim)
+		r.evicted++
+	}
+}

@@ -1,0 +1,282 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bicc"
+)
+
+func mkGraph(t *testing.T, n int, edges []bicc.Edge) *bicc.Graph {
+	t.Helper()
+	g, err := bicc.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFingerprintContentAddressed(t *testing.T) {
+	g1 := mkGraph(t, 4, []bicc.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	g2 := mkGraph(t, 4, []bicc.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	g3 := mkGraph(t, 4, []bicc.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	g4 := mkGraph(t, 5, []bicc.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}) // same edges, more vertices
+	if Fingerprint(g1) != Fingerprint(g2) {
+		t.Fatal("identical graphs fingerprint differently")
+	}
+	if Fingerprint(g1) == Fingerprint(g3) {
+		t.Fatal("different edges, same fingerprint")
+	}
+	if Fingerprint(g1) == Fingerprint(g4) {
+		t.Fatal("different vertex counts, same fingerprint")
+	}
+	if len(Fingerprint(g1)) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex chars", Fingerprint(g1))
+	}
+}
+
+func TestRegistryAddAcquireRemove(t *testing.T) {
+	r := NewRegistry(0)
+	g := mkGraph(t, 3, []bicc.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	fp, existed := r.Add("a", g)
+	if existed {
+		t.Fatal("fresh add reported existing")
+	}
+	if _, existed = r.Add("a", g); !existed {
+		t.Fatal("re-add not reported existing")
+	}
+	got, ok := r.Acquire(fp)
+	if !ok || got != g {
+		t.Fatal("acquire failed")
+	}
+	if info, _ := r.Get(fp); info.Refs != 1 {
+		t.Fatalf("refs = %d, want 1", info.Refs)
+	}
+	// Remove while referenced hides the entry but keeps it alive for the
+	// holder.
+	if !r.Remove(fp) {
+		t.Fatal("remove failed")
+	}
+	if _, ok := r.Acquire(fp); ok {
+		t.Fatal("acquire succeeded on removed entry")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after remove", r.Len())
+	}
+	r.Release(fp)
+	if r.Bytes() != 0 {
+		t.Fatalf("bytes = %d after final release", r.Bytes())
+	}
+	if r.Remove(fp) {
+		t.Fatal("second remove succeeded")
+	}
+}
+
+func TestRegistryEvictionRespectsRefsAndLRU(t *testing.T) {
+	mk := func(seed int32) *bicc.Graph {
+		// ~50 edges ≈ 464 bytes per graph under graphBytes.
+		edges := make([]bicc.Edge, 50)
+		for i := range edges {
+			edges[i] = bicc.Edge{U: seed, V: int32(100 + i)}
+		}
+		g, err := bicc.NewGraph(200, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	budget := 2*graphBytes(mk(0)) + 10 // room for two graphs
+	r := NewRegistry(budget)
+	fp1, _ := r.Add("g1", mk(1))
+	fp2, _ := r.Add("g2", mk(2))
+	if _, ok := r.Acquire(fp1); !ok { // pin g1
+		t.Fatal("acquire g1")
+	}
+	time.Sleep(2 * time.Millisecond) // make lastUse ordering unambiguous
+	fp3, _ := r.Add("g3", mk(3))
+	// g2 is the only unpinned entry: it must be the victim even though g1 is
+	// older.
+	if _, ok := r.Get(fp2); ok {
+		t.Fatal("LRU-unpinned entry g2 survived eviction")
+	}
+	if _, ok := r.Get(fp1); !ok {
+		t.Fatal("pinned entry g1 was evicted")
+	}
+	if _, ok := r.Get(fp3); !ok {
+		t.Fatal("just-added entry g3 was evicted")
+	}
+	if r.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", r.Evicted())
+	}
+}
+
+func TestResultCacheSingleFlightAndLRU(t *testing.T) {
+	c := NewResultCache(2)
+	var runs atomic.Int64
+	slow := func(ctx context.Context) (*queryResult, error) {
+		runs.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		return &queryResult{NumComponents: 1}, nil
+	}
+	key := resultKey{fp: "a", algo: bicc.TVOpt, procs: 2}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err, _ := c.Do(context.Background(), key, slow)
+			if err != nil || res.NumComponents != 1 {
+				t.Errorf("Do: %v %+v", err, res)
+			}
+		}()
+	}
+	wg.Wait()
+	if runs.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", runs.Load())
+	}
+	// Completed entry is a hit.
+	_, _, oc := c.Do(context.Background(), key, slow)
+	if oc != OutcomeHit {
+		t.Fatalf("outcome = %v, want hit", oc)
+	}
+	// Two more keys evict the oldest.
+	for _, fp := range []string{"b", "c"} {
+		k := resultKey{fp: fp, algo: bicc.TVOpt, procs: 2}
+		if _, err, _ := c.Do(context.Background(), k, slow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.Len())
+	}
+	if _, _, oc := c.Do(context.Background(), key, slow); oc != OutcomeMiss {
+		t.Fatalf("evicted key outcome = %v, want miss", oc)
+	}
+}
+
+func TestResultCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewResultCache(8)
+	boom := errors.New("boom")
+	key := resultKey{fp: "x"}
+	fail := func(ctx context.Context) (*queryResult, error) { return nil, boom }
+	if _, err, _ := c.Do(context.Background(), key, fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	var ran bool
+	ok := func(ctx context.Context) (*queryResult, error) { ran = true; return &queryResult{}, nil }
+	if _, err, oc := c.Do(context.Background(), key, ok); err != nil || oc != OutcomeMiss || !ran {
+		t.Fatalf("retry after error: err=%v outcome=%v ran=%v", err, oc, ran)
+	}
+}
+
+func TestResultCacheAbandonedComputationIsCanceled(t *testing.T) {
+	c := NewResultCache(8)
+	computeCanceled := make(chan error, 1)
+	entered := make(chan struct{})
+	compute := func(cctx context.Context) (*queryResult, error) {
+		close(entered)
+		<-cctx.Done()
+		computeCanceled <- cctx.Err()
+		return nil, cctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel() // abandon immediately-ish
+	_, err, _ := c.Do(ctx, resultKey{fp: "y"}, compute)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller err = %v", err)
+	}
+	<-entered
+	select {
+	case err := <-computeCanceled:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("compute ctx err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("computation context never canceled after last waiter left")
+	}
+}
+
+func TestAdmissionBounds(t *testing.T) {
+	a := NewAdmission(2, 1)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inflight() != 2 {
+		t.Fatalf("inflight = %d", a.Inflight())
+	}
+	// Third acquire queues; fourth is rejected.
+	acquired := make(chan func(), 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		acquired <- r
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.QueueDepth() != 1 {
+		t.Fatalf("queue depth = %d, want 1", a.QueueDepth())
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	r1() // frees a slot: the queued acquire proceeds
+	r3 := <-acquired
+	r3()
+	r3() // double release must be a no-op
+	r2()
+	if a.Inflight() != 0 || a.QueueDepth() != 0 {
+		t.Fatalf("inflight=%d queue=%d after release", a.Inflight(), a.QueueDepth())
+	}
+}
+
+func TestAdmissionAcquireHonorsContext(t *testing.T) {
+	a := NewAdmission(1, 4)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if a.QueueDepth() != 0 {
+		t.Fatalf("queue depth = %d after timed-out waiter", a.QueueDepth())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{
+		500 * time.Nanosecond, time.Microsecond, 3 * time.Microsecond,
+		100 * time.Microsecond, 5 * time.Millisecond, time.Second,
+	} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MeanN <= 0 || s.P50Ns <= 0 || s.P99Ns < s.P50Ns {
+		t.Fatalf("snapshot %+v", s)
+	}
+	// P99 must land in the top bucket (1 s ≈ 2^20 µs).
+	if s.P99Ns < int64(time.Second) {
+		t.Fatalf("p99 = %dns, want >= 1s", s.P99Ns)
+	}
+}

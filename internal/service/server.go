@@ -1,0 +1,525 @@
+// Package service implements bccd, the biconnected-components query
+// service: a long-lived HTTP/JSON front end over the bicc engines that
+// amortizes graph loading and computation across many callers.
+//
+// Three mechanisms protect and accelerate the engine:
+//
+//   - a content-addressed graph Registry (upload once, query many times,
+//     reference-counted LRU eviction under a byte budget);
+//   - a single-flight ResultCache keyed by (graph fingerprint, algorithm,
+//     procs), so a thundering herd of identical queries runs the engine
+//     exactly once;
+//   - bounded Admission (worker pool + queue) with per-request context
+//     deadlines threaded down into the engines' parallel loops, and 429 +
+//     Retry-After once the queue is full.
+//
+// Endpoints: POST/GET/DELETE /v1/graphs, POST /v1/bcc, GET /healthz,
+// GET /statsz.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"bicc"
+	"bicc/internal/graph"
+)
+
+// Config tunes a Server. The zero value picks sane defaults for every
+// field.
+type Config struct {
+	// Workers bounds concurrent engine computations; <= 0 means
+	// max(GOMAXPROCS/2, 1) so one computation's internal parallelism still
+	// has cores to run on.
+	Workers int
+	// Queue bounds computations waiting for a worker; < 0 means 4*Workers.
+	Queue int
+	// CacheEntries bounds retained query results; <= 0 means 256.
+	CacheEntries int
+	// MaxGraphBytes bounds the registry's resident size; <= 0 means 1 GiB.
+	MaxGraphBytes int64
+	// MaxUploadBytes bounds the request body of a graph upload; <= 0 means
+	// 512 MiB.
+	MaxUploadBytes int64
+	// DefaultTimeout applies to queries that set no timeout_ms; <= 0 means
+	// 60 s.
+	DefaultTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses; <= 0 means 1 s.
+	RetryAfter time.Duration
+	// AllowLocalFiles enables POST /v1/graphs/open, which reads graph files
+	// from the server's filesystem. Off by default: a network-facing daemon
+	// must not be a file-disclosure oracle.
+	AllowLocalFiles bool
+	// Compute runs one BCC query. Nil means bicc.BiconnectedComponentsCtx;
+	// tests substitute instrumented engines.
+	Compute func(ctx context.Context, g *bicc.Graph, opt *bicc.Options) (*bicc.Result, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0) / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.Queue < 0 {
+		c.Queue = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxGraphBytes <= 0 {
+		c.MaxGraphBytes = 1 << 30
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 512 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Compute == nil {
+		c.Compute = func(ctx context.Context, g *bicc.Graph, opt *bicc.Options) (*bicc.Result, error) {
+			return bicc.BiconnectedComponentsCtx(ctx, g, opt)
+		}
+	}
+	return c
+}
+
+// Server is the bccd request handler.
+type Server struct {
+	cfg       Config
+	registry  *Registry
+	cache     *ResultCache
+	admission *Admission
+	stats     Stats
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		registry:  NewRegistry(cfg.MaxGraphBytes),
+		cache:     NewResultCache(cfg.CacheEntries),
+		admission: NewAdmission(cfg.Workers, cfg.Queue),
+	}
+	s.stats.perAlgorithm = map[string]*Histogram{}
+	for _, a := range []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
+		s.stats.perAlgorithm[a.String()] = &Histogram{}
+	}
+	return s
+}
+
+// Registry exposes the graph registry (the daemon preloads graphs through
+// it).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the HTTP routing for all bccd endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
+	mux.HandleFunc("POST /v1/graphs/open", s.handleOpen)
+	mux.HandleFunc("GET /v1/graphs", s.handleList)
+	mux.HandleFunc("GET /v1/graphs/{fp}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{fp}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/bcc", s.handleBCC)
+	return mux
+}
+
+// --- helpers ---------------------------------------------------------------
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func parseAlgorithm(s string) (bicc.Algorithm, error) {
+	switch s {
+	case "", "auto":
+		return bicc.Auto, nil
+	case "sequential":
+		return bicc.Sequential, nil
+	case "tv-smp":
+		return bicc.TVSMP, nil
+	case "tv-opt":
+		return bicc.TVOpt, nil
+	case "tv-filter":
+		return bicc.TVFilter, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+// readGraph parses a graph from r. With normalize set, self loops and
+// duplicate edges are dropped (and counted) instead of rejected.
+func readGraph(r io.Reader, format string, normalize bool) (g *bicc.Graph, loops, dups int, err error) {
+	if !normalize {
+		switch format {
+		case "", "text":
+			g, err = bicc.ReadGraph(r)
+		case "dimacs":
+			g, err = bicc.ReadGraphDIMACS(r)
+		case "binary":
+			g, err = bicc.ReadGraphBinary(r)
+		default:
+			err = fmt.Errorf("unknown format %q", format)
+		}
+		return g, 0, 0, err
+	}
+	var el *graph.EdgeList
+	switch format {
+	case "", "text":
+		el, err = graph.ReadLenient(r)
+	case "dimacs":
+		el, err = graph.ReadDIMACS(r)
+	case "binary":
+		el, err = graph.ReadBinaryLenient(r)
+	default:
+		err = fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return bicc.NewGraphNormalized(int(el.N), el.Edges)
+}
+
+// --- graph endpoints -------------------------------------------------------
+
+type graphUploadResponse struct {
+	GraphInfo
+	Existed bool `json:"existed"`
+	Loops   int  `json:"loops_removed,omitempty"`
+	Dups    int  `json:"duplicates_removed,omitempty"`
+}
+
+// handleUpload ingests a graph from the request body.
+// Query parameters: format=text|dimacs|binary (default text),
+// normalize=1 to drop self loops / duplicate edges instead of rejecting
+// them, name=<label>.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	q := r.URL.Query().Get("normalize")
+	g, loops, dups, err := readGraph(body, r.URL.Query().Get("format"), q == "1" || q == "true")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing graph: %v", err)
+		return
+	}
+	s.registerGraph(w, g, r.URL.Query().Get("name"), loops, dups)
+}
+
+type openRequest struct {
+	Path      string `json:"path"`
+	Format    string `json:"format"`
+	Normalize bool   `json:"normalize"`
+	Name      string `json:"name"`
+}
+
+// handleOpen loads a graph from a file on the server's filesystem (gated by
+// Config.AllowLocalFiles). The format defaults by extension: .bin/.bicc →
+// binary, .col/.dimacs → dimacs, anything else text.
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.AllowLocalFiles {
+		writeError(w, http.StatusForbidden, "local file loading is disabled (start bccd with -allow-local-files)")
+		return
+	}
+	var req openRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	format := req.Format
+	if format == "" {
+		switch strings.ToLower(path.Ext(req.Path)) {
+		case ".bin", ".bicc":
+			format = "binary"
+		case ".col", ".dimacs":
+			format = "dimacs"
+		default:
+			format = "text"
+		}
+	}
+	f, err := os.Open(req.Path)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "opening file: %v", err)
+		return
+	}
+	defer f.Close()
+	g, loops, dups, err := readGraph(f, format, req.Normalize)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing %s: %v", req.Path, err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = path.Base(req.Path)
+	}
+	s.registerGraph(w, g, name, loops, dups)
+}
+
+// registerGraph registers g and answers with the entry's info.
+func (s *Server) registerGraph(w http.ResponseWriter, g *bicc.Graph, name string, loops, dups int) {
+	fp, existed := s.registry.Add(name, g)
+	s.stats.GraphUploads.Add(1)
+	info, _ := s.registry.Get(fp)
+	writeJSON(w, http.StatusOK, graphUploadResponse{GraphInfo: info, Existed: existed, Loops: loops, Dups: dups})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.registry.List()})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	info, ok := s.registry.Get(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", fp)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fp")
+	if !s.registry.Remove(fp) {
+		writeError(w, http.StatusNotFound, "no graph %q", fp)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- query endpoint --------------------------------------------------------
+
+type bccRequest struct {
+	Graph     string   `json:"graph"` // fingerprint from /v1/graphs
+	Algorithm string   `json:"algorithm,omitempty"`
+	Procs     int      `json:"procs,omitempty"`
+	TimeoutMs int64    `json:"timeout_ms,omitempty"`
+	Include   []string `json:"include,omitempty"` // components, articulation, bridges, blockcut
+}
+
+// queryResult is the cacheable part of a BCC response: everything derived
+// from the decomposition, computed once and shared by all coalesced and
+// cached callers.
+type queryResult struct {
+	Algorithm          string           `json:"algorithm"`
+	NumComponents      int              `json:"num_components"`
+	NumArticulation    int              `json:"num_articulation_points"`
+	NumBridges         int              `json:"num_bridges"`
+	ElapsedNs          int64            `json:"elapsed_ns"`
+	Phases             []map[string]any `json:"phases,omitempty"`
+	ArticulationPoints []int32          `json:"articulation_points,omitempty"`
+	Bridges            []int32          `json:"bridges,omitempty"`
+	Components         [][]int32        `json:"components,omitempty"`
+	BlockCut           *blockCutJSON    `json:"blockcut,omitempty"`
+}
+
+type blockCutJSON struct {
+	NumBlocks   int     `json:"num_blocks"`
+	NumNodes    int     `json:"num_nodes"`
+	NumEdges    int     `json:"num_tree_edges"`
+	CutVertices []int32 `json:"cut_vertices"`
+	LeafBlocks  []int32 `json:"leaf_blocks"`
+}
+
+// bccResponse embeds queryResult by value: encoding/json cannot populate an
+// embedded pointer to an unexported type when tests decode responses.
+type bccResponse struct {
+	queryResult
+	Graph  string `json:"graph"`
+	Cached bool   `json:"cached"`
+}
+
+func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
+	s.stats.Requests.Add(1)
+	var req bccRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	algo, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	include := map[string]bool{}
+	for _, inc := range req.Include {
+		switch inc {
+		case "components", "articulation", "bridges", "blockcut":
+			include[inc] = true
+		default:
+			writeError(w, http.StatusBadRequest, "unknown include %q", inc)
+			return
+		}
+	}
+	procs := req.Procs
+	if procs < 0 {
+		procs = 0
+	}
+	g, ok := s.registry.Acquire(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q (upload it via POST /v1/graphs first)", req.Graph)
+		return
+	}
+	defer s.registry.Release(req.Graph)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	key := resultKey{fp: req.Graph, algo: algo, procs: procs}
+	res, err, outcome := s.cache.Do(ctx, key, func(cctx context.Context) (*queryResult, error) {
+		return s.compute(cctx, g, algo, procs, include)
+	})
+	switch outcome {
+	case OutcomeHit:
+		s.stats.CacheHits.Add(1)
+	case OutcomeMiss:
+		s.stats.CacheMisses.Add(1)
+	case OutcomeCoalesced:
+		s.stats.Coalesced.Add(1)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.stats.Rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)+1))
+			writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			s.stats.Canceled.Add(1)
+			// 503 with Retry-After: the deadline expired before the engine
+			// finished, typically because the box is saturated.
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)+1))
+			writeError(w, http.StatusServiceUnavailable, "query did not finish in time: %v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, bccResponse{queryResult: *res, Graph: req.Graph, Cached: outcome == OutcomeHit})
+}
+
+// compute admits and runs one engine computation, then derives every
+// cacheable view the include set asks for.
+func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm, procs int, include map[string]bool) (*queryResult, error) {
+	release, err := s.admission.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.stats.Computations.Add(1)
+	start := time.Now()
+	res, err := s.cfg.Compute(ctx, g, &bicc.Options{Algorithm: algo, Procs: procs})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if h := s.stats.perAlgorithm[res.Algorithm.String()]; h != nil {
+		h.Observe(elapsed)
+	}
+	cuts := res.ArticulationPoints()
+	bridges := res.Bridges()
+	out := &queryResult{
+		Algorithm:       res.Algorithm.String(),
+		NumComponents:   res.NumComponents,
+		NumArticulation: len(cuts),
+		NumBridges:      len(bridges),
+		ElapsedNs:       int64(elapsed),
+	}
+	for _, ph := range res.Phases {
+		out.Phases = append(out.Phases, map[string]any{"name": ph.Name, "ns": int64(ph.Duration)})
+	}
+	if include["articulation"] {
+		out.ArticulationPoints = cuts
+	}
+	if include["bridges"] {
+		out.Bridges = bridges
+	}
+	if include["components"] {
+		out.Components = res.Components()
+	}
+	if include["blockcut"] {
+		t := res.BlockCutTree()
+		out.BlockCut = &blockCutJSON{
+			NumBlocks:   t.NumBlocks(),
+			NumNodes:    t.NumNodes(),
+			NumEdges:    t.NumTreeEdges(),
+			CutVertices: t.CutVertices(),
+			LeafBlocks:  t.LeafBlocks(),
+		}
+	}
+	return out, nil
+}
+
+// --- health & stats --------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.admission.Workers(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// Snapshot assembles the current /statsz payload.
+func (s *Server) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		Requests:      s.stats.Requests.Load(),
+		CacheHits:     s.stats.CacheHits.Load(),
+		CacheMisses:   s.stats.CacheMisses.Load(),
+		Coalesced:     s.stats.Coalesced.Load(),
+		Rejected:      s.stats.Rejected.Load(),
+		Canceled:      s.stats.Canceled.Load(),
+		Computations:  s.stats.Computations.Load(),
+		GraphUploads:  s.stats.GraphUploads.Load(),
+		GraphEvicted:  s.registry.Evicted(),
+		QueueDepth:    s.admission.QueueDepth(),
+		Inflight:      s.admission.Inflight(),
+		CachedResults: s.cache.Len(),
+		Graphs:        s.registry.Len(),
+		GraphBytes:    s.registry.Bytes(),
+		Latency:       map[string]HistogramSnapshot{},
+	}
+	if served := snap.CacheHits + snap.CacheMisses + snap.Coalesced; served > 0 {
+		snap.CacheHitRate = float64(snap.CacheHits+snap.Coalesced) / float64(served)
+	}
+	for name, h := range s.stats.perAlgorithm {
+		if hs := h.Snapshot(); hs.Count > 0 {
+			snap.Latency[name] = hs
+		}
+	}
+	return snap
+}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket k counts
+// observations in [2^k, 2^(k+1)) microseconds, with the last bucket open
+// above. 32 buckets span 1 µs to over an hour.
+const histBuckets = 32
+
+// Histogram is a lock-free latency histogram with power-of-two microsecond
+// buckets, cheap enough to sit on every request path.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	k := bits.Len64(uint64(us)) // 0µs→0, 1µs→1, [2,4)→2, ...
+	if k >= histBuckets {
+		k = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	h.buckets[k].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, JSON-ready.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	MeanN int64 `json:"mean_ns"`
+	P50Ns int64 `json:"p50_ns"`
+	P90Ns int64 `json:"p90_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// BucketsUs[k] counts samples with latency in [2^(k-1), 2^k) µs
+	// (k=0: sub-microsecond). Trailing zero buckets are trimmed.
+	BucketsUs []int64 `json:"buckets_us,omitempty"`
+}
+
+// Snapshot returns a consistent-enough copy for reporting; concurrent
+// Observe calls may skew individual buckets by a few samples.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	if s.Count > 0 {
+		s.MeanN = h.sumNs.Load() / s.Count
+	}
+	var b [histBuckets]int64
+	total := int64(0)
+	last := -1
+	for k := range b {
+		b[k] = h.buckets[k].Load()
+		total += b[k]
+		if b[k] > 0 {
+			last = k
+		}
+	}
+	if last >= 0 {
+		s.BucketsUs = append([]int64(nil), b[:last+1]...)
+	}
+	s.P50Ns = quantile(b[:], total, 0.50)
+	s.P90Ns = quantile(b[:], total, 0.90)
+	s.P99Ns = quantile(b[:], total, 0.99)
+	return s
+}
+
+// quantile returns the upper edge (in ns) of the bucket containing the q-th
+// quantile — a conservative estimate good to a factor of two, which is all a
+// power-of-two histogram can promise.
+func quantile(b []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	seen := int64(0)
+	for k, c := range b {
+		seen += c
+		if seen >= target {
+			return int64(1) << uint(k) * 1000 // upper edge: 2^k µs in ns
+		}
+	}
+	return int64(1) << uint(len(b)) * 1000
+}
+
+// Stats aggregates the service counters exposed on /statsz.
+type Stats struct {
+	Requests     atomic.Int64 // BCC queries received
+	CacheHits    atomic.Int64 // served from a completed cache entry
+	CacheMisses  atomic.Int64 // required a new computation
+	Coalesced    atomic.Int64 // joined an in-flight identical computation
+	Rejected     atomic.Int64 // 429s from a full admission queue
+	Canceled     atomic.Int64 // requests that died on context before/while computing
+	Computations atomic.Int64 // engine runs actually started
+	GraphUploads atomic.Int64
+	perAlgorithm map[string]*Histogram
+}
+
+// StatsSnapshot is the JSON shape of /statsz.
+type StatsSnapshot struct {
+	Requests     int64 `json:"requests"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Rejected     int64 `json:"rejected"`
+	Canceled     int64 `json:"canceled"`
+	Computations int64 `json:"computations"`
+	GraphUploads int64 `json:"graph_uploads"`
+	GraphEvicted int64 `json:"graphs_evicted"`
+	// CacheHitRate is hits / (hits + misses + coalesced), the fraction of
+	// queries that did not start their own computation beyond the first.
+	CacheHitRate  float64                      `json:"cache_hit_rate"`
+	QueueDepth    int                          `json:"queue_depth"`
+	Inflight      int                          `json:"inflight"`
+	CachedResults int                          `json:"cached_results"`
+	Graphs        int                          `json:"graphs"`
+	GraphBytes    int64                        `json:"graph_bytes"`
+	Latency       map[string]HistogramSnapshot `json:"latency_ns_by_algorithm"`
+}

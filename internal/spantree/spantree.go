@@ -52,6 +52,13 @@ func (f *RootedForest) IsRoot(v int32) bool { return f.Parent[v] == v }
 // that caused it is a forest edge. Exactly n - #components grafts succeed
 // over the whole run.
 func SV(p int, n int32, edges []graph.Edge) *Forest {
+	return SVC(nil, p, n, edges)
+}
+
+// SVC is SV with cooperative cancellation: the graft/shortcut convergence
+// loop polls c between rounds and inside the edge scan. When c trips the
+// returned forest is incomplete — callers must check c.Err() and discard it.
+func SVC(c *par.Canceler, p int, n int32, edges []graph.Edge) *Forest {
 	d := make([]int32, n)
 	hook := make([]int32, n) // hook[r] = edge id whose graft removed root r
 	par.For(p, int(n), func(lo, hi int) {
@@ -62,8 +69,11 @@ func SV(p int, n int32, edges []graph.Edge) *Forest {
 	})
 	var changed atomic.Bool
 	for {
+		if c.Err() != nil {
+			return &Forest{N: n, Labels: d}
+		}
 		changed.Store(false)
-		par.ForDynamic(p, len(edges), 0, func(lo, hi int) {
+		par.ForDynamicC(c, p, len(edges), 0, func(lo, hi int) {
 			localChanged := false
 			for i := lo; i < hi; i++ {
 				e := edges[i]
@@ -88,7 +98,7 @@ func SV(p int, n int32, edges []graph.Edge) *Forest {
 		if !changed.Load() {
 			break
 		}
-		par.For(p, int(n), func(lo, hi int) {
+		par.ForC(c, p, int(n), func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				dv := atomic.LoadInt32(&d[v])
 				for {
@@ -117,6 +127,13 @@ func SV(p int, n int32, edges []graph.Edge) *Forest {
 // own runs dry. Discovery order is nondeterministic, but any claimed parent
 // relation is a valid spanning-forest edge.
 func WorkStealing(p int, c *graph.CSR) *RootedForest {
+	return WorkStealingC(nil, p, c)
+}
+
+// WorkStealingC is WorkStealing with cooperative cancellation: traversal
+// workers poll cn between expansions. When cn trips the returned forest is
+// incomplete — callers must check cn.Err() and discard it.
+func WorkStealingC(cn *par.Canceler, p int, c *graph.CSR) *RootedForest {
 	n := c.N
 	p = par.Procs(p)
 	parent := make([]int32, n)
@@ -129,18 +146,21 @@ func WorkStealing(p int, c *graph.CSR) *RootedForest {
 	})
 	var roots []int32
 	for s := int32(0); s < n; s++ {
+		if cn.Err() != nil {
+			break
+		}
 		if atomic.LoadInt32(&parent[s]) != -1 {
 			continue
 		}
 		parent[s] = s
 		roots = append(roots, s)
-		traverse(p, c, parent, parentEdge, s)
+		traverse(cn, p, c, parent, parentEdge, s)
 	}
 	return &RootedForest{N: n, Parent: parent, ParentEdge: parentEdge, Roots: roots}
 }
 
 // traverse runs the work-stealing expansion of one component from root s.
-func traverse(p int, c *graph.CSR, parent, parentEdge []int32, s int32) {
+func traverse(cn *par.Canceler, p int, c *graph.CSR, parent, parentEdge []int32, s int32) {
 	deques := make([]*par.Deque, p)
 	for i := range deques {
 		deques[i] = par.NewDeque(256)
@@ -154,6 +174,9 @@ func traverse(p int, c *graph.CSR, parent, parentEdge []int32, s int32) {
 		my := deques[w]
 		stealBuf := make([]int32, 0, 256)
 		for {
+			if cn.Err() != nil {
+				return
+			}
 			v, ok := my.Pop()
 			if !ok {
 				if work.Load() == 0 {
@@ -197,6 +220,13 @@ func traverse(p int, c *graph.CSR, parent, parentEdge []int32, s int32) {
 // The tree rooted at each root is a genuine BFS tree: Level[child] =
 // Level[parent] + 1, which is the property the TV-filter lemmas require.
 func BFS(p int, c *graph.CSR) *RootedForest {
+	return BFSC(nil, p, c)
+}
+
+// BFSC is BFS with cooperative cancellation, polled once per BFS level.
+// When cn trips the returned forest is incomplete — callers must check
+// cn.Err() and discard it.
+func BFSC(cn *par.Canceler, p int, c *graph.CSR) *RootedForest {
 	n := c.N
 	p = par.Procs(p)
 	parent := make([]int32, n)
@@ -222,6 +252,9 @@ func BFS(p int, c *graph.CSR) *RootedForest {
 		frontier = append(frontier[:0], s)
 		depth := int32(0)
 		for len(frontier) > 0 {
+			if cn.Err() != nil {
+				return &RootedForest{N: n, Parent: parent, ParentEdge: parentEdge, Roots: roots, Level: level}
+			}
 			depth++
 			par.ForWorker(p, len(frontier), func(w, lo, hi int) {
 				buf := nextBufs[w][:0]
