@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults fmt vet clean
 
 all: build test
 
@@ -38,13 +38,18 @@ ablations:
 verify:
 	$(GO) run ./cmd/bccverify -trials 500
 
+# Fault-isolation suite: the site × kind × algorithm injection matrix, the
+# supervisor/fallback tests, and the race-enabled service fault hammer.
+test-faults:
+	$(GO) test -race -run 'Fault|Fallback|Panic|Breaker|Drain|AttemptTimeout' . ./internal/par ./internal/faults ./internal/service
+
 # Machine-readable medians for the four algorithms (CI trend tracking).
 bench-json:
 	$(GO) run ./cmd/bccjson -scale $(SCALE) -reps $(REPS) -o BENCH_1.json
 
-# The gate run before merging: static checks, race-clean tests, and a
-# benchmark snapshot.
-ci: vet race bench-json
+# The gate run before merging: static checks, race-clean tests, the
+# fault-isolation suite, and a benchmark snapshot.
+ci: vet race test-faults bench-json
 
 fmt:
 	gofmt -l -w .

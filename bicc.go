@@ -135,8 +135,27 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// FallbackPolicy selects how BiconnectedComponentsCtx reacts when a
+// parallel engine faults (panics, fails, or exceeds the per-attempt
+// deadline).
+type FallbackPolicy int
+
+const (
+	// FallbackNone returns engine faults to the caller unchanged — the
+	// library's historical behavior. Panics are still contained and
+	// surfaced as *par.PanicError values, never as crashes.
+	FallbackNone FallbackPolicy = iota
+	// FallbackSequential retries the faulted parallel engine once, and if
+	// the retry faults too, degrades to the sequential Hopcroft–Tarjan
+	// engine under the caller's context. The returned Result has Degraded
+	// set and DegradedCause recording the parallel failure. Cancellation of
+	// the caller's context is never retried or degraded: the caller is
+	// gone, so its error is returned immediately.
+	FallbackSequential
+)
+
 // Options configures a biconnected components run. The zero value (and nil)
-// mean: Auto algorithm, GOMAXPROCS workers.
+// mean: Auto algorithm, GOMAXPROCS workers, no fallback.
 type Options struct {
 	// Algorithm selects the implementation; Auto applies the paper's
 	// density rule.
@@ -148,6 +167,15 @@ type Options struct {
 	// (context.Canceled or context.DeadlineExceeded) promptly once it is
 	// done. BiconnectedComponentsCtx overrides this field.
 	Context context.Context
+	// Fallback is the fault-handling policy for parallel engines; see
+	// FallbackPolicy.
+	Fallback FallbackPolicy
+	// AttemptTimeout, when > 0 and Fallback is FallbackSequential, bounds
+	// each parallel attempt: an attempt that runs longer is cooperatively
+	// canceled with ErrAttemptTimeout and handled under the fallback
+	// policy. The sequential fallback itself is bounded only by the
+	// caller's context.
+	AttemptTimeout time.Duration
 }
 
 // PhaseTiming is one timed step of the algorithm (the Fig. 4 breakdown).
@@ -163,16 +191,30 @@ type Result struct {
 	// EdgeComponent maps each edge index to its dense block id in
 	// [0, NumComponents).
 	EdgeComponent []int32
-	// Algorithm is the implementation that actually ran (Auto resolved).
+	// Algorithm is the implementation that actually ran (Auto resolved;
+	// Sequential when the run degraded to the fallback engine).
 	Algorithm Algorithm
 	// Phases is the per-step timing breakdown in execution order.
 	Phases []PhaseTiming
+	// Degraded reports that the requested parallel engine faulted and this
+	// result was produced by the sequential fallback (still a fully correct
+	// decomposition, just without parallel speedup).
+	Degraded bool
+	// DegradedCause is the parallel engine's failure that triggered the
+	// fallback; nil unless Degraded.
+	DegradedCause error
 
 	g *graph.EdgeList
 }
 
 // ErrNilGraph is returned when a nil graph is supplied.
 var ErrNilGraph = errors.New("bicc: nil graph")
+
+// ErrAttemptTimeout is the cancellation cause installed when a parallel
+// attempt outlives Options.AttemptTimeout. It is distinct from
+// context.DeadlineExceeded so the supervisor can tell "this attempt was too
+// slow" (retry, then degrade) from "the caller's deadline passed" (give up).
+var ErrAttemptTimeout = errors.New("bicc: parallel attempt exceeded AttemptTimeout")
 
 // BiconnectedComponents computes the block decomposition of g. When
 // opt.Context is non-nil the run honors its deadline/cancellation; see
@@ -190,6 +232,12 @@ func BiconnectedComponents(g *Graph, opt *Options) (*Result, error) {
 // inside the engines' parallel loops) and return ctx's error promptly once
 // it is canceled or its deadline passes. A nil ctx means
 // context.Background(). The ctx argument takes precedence over opt.Context.
+//
+// The call is a fault boundary: engine panics are contained by the runtime
+// and surface as *par.PanicError values, never as crashes. With
+// Options.Fallback set to FallbackSequential, a parallel engine that
+// panics, errors, or exceeds Options.AttemptTimeout is retried once and
+// then replaced by the sequential engine; see FallbackPolicy.
 func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Result, error) {
 	if g == nil {
 		return nil, ErrNilGraph
@@ -198,14 +246,11 @@ func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Res
 	if opt != nil {
 		o = *opt
 	}
-	var cancel *par.Canceler
-	if ctx != nil && ctx.Done() != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cancel = &par.Canceler{}
-		stop := cancel.Watch(ctx)
-		defer stop()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	p := par.Procs(o.Procs)
 	algo := o.Algorithm
@@ -219,35 +264,85 @@ func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Res
 			algo = TVOpt
 		}
 	}
-	var (
-		res *core.Result
-		err error
-	)
 	switch algo {
-	case Sequential:
-		res, err = core.SequentialC(cancel, g.el)
-	case TVSMP:
-		res, err = core.TVSMPC(cancel, p, g.el)
-	case TVOpt:
-		res, err = core.TVOptC(cancel, p, g.el)
-	case TVFilter:
-		res, err = core.TVFilterC(cancel, p, g.el)
+	case Sequential, TVSMP, TVOpt, TVFilter:
 	default:
 		return nil, fmt.Errorf("bicc: unknown algorithm %v", o.Algorithm)
 	}
-	if err != nil {
-		return nil, err
+
+	if o.Fallback != FallbackSequential || algo == Sequential {
+		res, err := runAttempt(ctx, g.el, algo, p, 0)
+		if err != nil {
+			return nil, err
+		}
+		return newResult(res, algo, g.el), nil
 	}
+
+	// Supervised path: one retry for transient faults (a lost race, an
+	// injected fault that won't recur), then degrade to the engine that
+	// cannot share the parallel runtime's failure modes.
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		res, err := runAttempt(ctx, g.el, algo, p, o.AttemptTimeout)
+		if err == nil {
+			return newResult(res, algo, g.el), nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller's context ended — possibly mid-attempt, in which
+			// case err is the same cause. Never retry work nobody wants.
+			return nil, cerr
+		}
+		lastErr = err
+	}
+	res, err := runAttempt(ctx, g.el, Sequential, 1, 0)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("bicc: sequential fallback (after %v) failed: %w", lastErr, err)
+	}
+	out := newResult(res, Sequential, g.el)
+	out.Degraded = true
+	out.DegradedCause = lastErr
+	return out, nil
+}
+
+// runAttempt executes one engine run under its own cancellation token,
+// watching the caller's context and, when attemptTimeout > 0, a per-attempt
+// deadline that cancels with ErrAttemptTimeout.
+func runAttempt(ctx context.Context, el *graph.EdgeList, algo Algorithm, p int, attemptTimeout time.Duration) (*core.Result, error) {
+	cancel := &par.Canceler{}
+	stop := cancel.Watch(ctx)
+	defer stop()
+	if attemptTimeout > 0 {
+		t := time.AfterFunc(attemptTimeout, func() { cancel.Cancel(ErrAttemptTimeout) })
+		defer t.Stop()
+	}
+	switch algo {
+	case Sequential:
+		return core.SequentialC(cancel, el)
+	case TVSMP:
+		return core.TVSMPC(cancel, p, el)
+	case TVOpt:
+		return core.TVOptC(cancel, p, el)
+	case TVFilter:
+		return core.TVFilterC(cancel, p, el)
+	}
+	return nil, fmt.Errorf("bicc: unknown algorithm %v", algo)
+}
+
+// newResult converts a core result into the public shape.
+func newResult(res *core.Result, algo Algorithm, el *graph.EdgeList) *Result {
 	out := &Result{
 		NumComponents: res.NumComp,
 		EdgeComponent: res.EdgeComp,
 		Algorithm:     algo,
-		g:             g.el,
+		g:             el,
 	}
 	for _, ph := range res.Phases {
 		out.Phases = append(out.Phases, PhaseTiming{Name: ph.Name, Duration: ph.Duration})
 	}
-	return out, nil
+	return out
 }
 
 // ArticulationPoints returns the cut vertices implied by the decomposition:

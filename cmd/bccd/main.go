@@ -6,7 +6,13 @@
 //
 //	bccd [-addr :8714] [-workers N] [-queue N] [-cache N]
 //	     [-max-graph-bytes B] [-timeout D] [-allow-local-files]
-//	     [-load name=path ...]
+//	     [-load name=path ...] [-drain-timeout D] [-attempt-timeout D]
+//	     [-breaker-threshold N] [-breaker-cooldown D] [-no-fallback]
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: new work is rejected with
+// 503 (health and stats stay readable), in-flight requests get
+// -drain-timeout to finish, and any stragglers still running after that are
+// canceled through their request contexts before the process exits.
 //
 // Endpoints:
 //
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,17 +69,26 @@ func main() {
 	maxGraphBytes := flag.Int64("max-graph-bytes", 0, "graph registry byte budget (0 = 1 GiB)")
 	timeout := flag.Duration("timeout", 0, "default per-query timeout (0 = 60s)")
 	allowLocal := flag.Bool("allow-local-files", false, "enable POST /v1/graphs/open (server-side file reads)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long in-flight requests may run after SIGINT/SIGTERM")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt bound on parallel engines before fallback (0 = none)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive engine faults that open an algorithm's circuit breaker (0 = 5)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 15s)")
+	noFallback := flag.Bool("no-fallback", false, "return engine faults as errors instead of degrading to the sequential engine")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a graph at startup: name=path or just path (repeatable; format by extension)")
 	flag.Parse()
 
 	srv := service.New(service.Config{
-		Workers:         *workers,
-		Queue:           *queue,
-		CacheEntries:    *cacheEntries,
-		MaxGraphBytes:   *maxGraphBytes,
-		DefaultTimeout:  *timeout,
-		AllowLocalFiles: *allowLocal,
+		Workers:          *workers,
+		Queue:            *queue,
+		CacheEntries:     *cacheEntries,
+		MaxGraphBytes:    *maxGraphBytes,
+		DefaultTimeout:   *timeout,
+		AllowLocalFiles:  *allowLocal,
+		AttemptTimeout:   *attemptTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		NoFallback:       *noFallback,
 	})
 	for _, spec := range loads {
 		name, fp, err := preload(srv, spec)
@@ -82,10 +98,16 @@ func main() {
 		log.Printf("preloaded %s as %s (%s)", spec, fp, name)
 	}
 
+	// baseCtx underlies every request context; canceling it after the drain
+	// deadline tears down straggler computations through the engines' own
+	// cancellation plumbing instead of abandoning them.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -97,11 +119,25 @@ func main() {
 	case err := <-errCh:
 		log.Fatal(err)
 	case s := <-sig:
-		log.Printf("%v: draining", s)
+		log.Printf("%v: draining (up to %v)", s, *drainTimeout)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	// Stop admitting new work first, so the Shutdown window is spent
+	// finishing queries already in flight rather than accepting fresh ones
+	// over kept-alive connections.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	err := httpSrv.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline hit with requests still running: cancel their
+		// contexts and give the engines a moment to unwind before exiting.
+		log.Printf("drain timeout, canceling stragglers: %v", err)
+		cancelBase()
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel2()
+		_ = httpSrv.Shutdown(ctx2)
+	}
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
 		os.Exit(1)
 	}

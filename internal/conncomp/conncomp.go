@@ -8,9 +8,14 @@ package conncomp
 import (
 	"sync/atomic"
 
+	"bicc/internal/faults"
 	"bicc/internal/graph"
 	"bicc/internal/par"
 )
+
+// Fault-injection point: once per graft/shortcut round, with the
+// computation's canceler, so injected cancellations propagate for real.
+var siteSV = faults.RegisterSite("conncomp.sv", true)
 
 // ShiloachVishkin computes connected-component labels for a graph with n
 // vertices and the given edges using p workers. The returned slice maps each
@@ -41,10 +46,11 @@ func ShiloachVishkinC(c *par.Canceler, p int, n int32, edges []graph.Edge) []int
 		return d
 	}
 	var changed atomic.Bool
-	for {
+	for round := 0; ; round++ {
 		if c.Err() != nil {
 			return d
 		}
+		faults.Inject(c, siteSV, 0, round)
 		changed.Store(false)
 		// Graft phase: hook the root of the larger label onto the smaller.
 		par.ForDynamicC(c, p, len(edges), 0, func(lo, hi int) {

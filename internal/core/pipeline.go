@@ -4,11 +4,20 @@ import (
 	"fmt"
 
 	"bicc/internal/eulertour"
+	"bicc/internal/faults"
 	"bicc/internal/graph"
 	"bicc/internal/par"
 	"bicc/internal/prefix"
 	"bicc/internal/spantree"
 	"bicc/internal/treecomp"
+)
+
+// Fault-injection points: at engine entry (iter = the SpanningTreeKind, so a
+// rule can target one TV variant) and between pipeline phases (iter = phase
+// ordinal). Both receive the run's canceler.
+var (
+	siteEntry = faults.RegisterSite("core.entry", true)
+	sitePhase = faults.RegisterSite("core.pipeline", true)
 )
 
 // SpanningTreeKind selects step 1 of the TV pipeline.
@@ -68,11 +77,23 @@ type Config struct {
 }
 
 // Custom runs the TV pipeline described by cfg with p workers.
-func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
+//
+// Custom is a fault boundary: a panic anywhere in the pipeline — in a phase
+// running on this goroutine or re-raised by the par runtime after containing
+// a worker panic — is recovered and returned as a *par.PanicError instead of
+// propagating. Callers therefore see engine bugs as errors, never as
+// crashes.
+func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, par.AsPanicError(-1, v)
+		}
+	}()
 	if cfg.Filter && cfg.SpanningTree != SpanBFS {
 		return nil, fmt.Errorf("core: edge filtering requires a BFS spanning tree (paper Lemma 1)")
 	}
 	p = par.Procs(p)
+	faults.Inject(cfg.Cancel, siteEntry, 0, int(cfg.SpanningTree))
 	sw := newStopwatch()
 	// Step 1 (+3 for rooted variants): spanning tree.
 	var (
@@ -81,7 +102,6 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 		rooted     *spantree.RootedForest
 		linkedTour *eulertour.Tour
 		seq        *eulertour.ArcSeq
-		err        error
 		mGlobal    = len(g.Edges)
 	)
 	switch cfg.SpanningTree {
@@ -113,6 +133,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown spanning tree kind %d", cfg.SpanningTree)
 	}
+	faults.Inject(cfg.Cancel, sitePhase, 0, 1)
 	if err := cfg.Cancel.Err(); err != nil {
 		return nil, err
 	}
@@ -152,6 +173,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	faults.Inject(cfg.Cancel, sitePhase, 0, 2)
 	if err := cfg.Cancel.Err(); err != nil {
 		return nil, err
 	}
@@ -164,6 +186,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 	} else {
 		low, high = treecomp.LowHigh(p, td, edges, edgeIsTree)
 	}
+	faults.Inject(cfg.Cancel, sitePhase, 0, 3)
 	if err := cfg.Cancel.Err(); err != nil {
 		return nil, err
 	}
@@ -172,6 +195,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (*Result, error) {
 	// Steps 5–6 plus the filtered-edge relabeling.
 	edgeComp := make([]int32, mGlobal)
 	tvTail(cfg.Cancel, p, sw, edges, edgeIsTree, td, low, high, edgeComp, origID)
+	faults.Inject(cfg.Cancel, sitePhase, 0, 4)
 	if err := cfg.Cancel.Err(); err != nil {
 		return nil, err
 	}

@@ -1,9 +1,15 @@
 package core
 
 import (
+	"bicc/internal/faults"
 	"bicc/internal/graph"
 	"bicc/internal/par"
 )
+
+// Fault-injection point in the DFS, sharing the cadence of the cancellation
+// poll (iter counts polls). The sequential engine is the fallback of last
+// resort, so proving it too degrades to a typed error matters doubly.
+var siteSeq = faults.RegisterSite("core.seq", true)
 
 // Sequential computes biconnected components with Tarjan's linear-time
 // depth-first-search algorithm [19] (with Hopcroft's edge-stack block
@@ -18,8 +24,15 @@ func Sequential(g *graph.EdgeList) *Result {
 
 // SequentialC is Sequential with cooperative cancellation, polled every few
 // thousand DFS steps; it returns the cancellation cause when c trips
-// mid-run.
-func SequentialC(cn *par.Canceler, g *graph.EdgeList) (*Result, error) {
+// mid-run. Like Custom it is a fault boundary: panics are recovered and
+// returned as *par.PanicError.
+func SequentialC(cn *par.Canceler, g *graph.EdgeList) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, par.AsPanicError(-1, v)
+		}
+	}()
+	faults.Inject(cn, siteSeq, 0, 0)
 	sw := newStopwatch()
 	c := graph.ToCSR(1, g)
 	n := int(g.N)
@@ -58,6 +71,7 @@ func SequentialC(cn *par.Canceler, g *graph.EdgeList) (*Result, error) {
 		for len(stack) > 0 {
 			steps++
 			if steps&0xfff == 0 {
+				faults.Inject(cn, siteSeq, 0, steps>>12)
 				if err := cn.Err(); err != nil {
 					return nil, err
 				}

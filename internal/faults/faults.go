@@ -1,0 +1,336 @@
+// Package faults is a deterministic fault-injection framework for the
+// parallel engines. Production code declares named injection points
+// ("sites") inside the parallel primitives and engine phases; a test (or an
+// operator via the BICC_FAULTS environment variable) activates a Plan whose
+// rules force panics, delays, or spurious cancellations at matching sites.
+//
+// Firing decisions are deterministic: a rule with Every=N fires exactly at
+// the (site, worker, iteration) triples whose seeded hash is divisible by N,
+// so a failing fault schedule can be replayed by rerunning with the same
+// seed. With no active plan an injection point costs one atomic pointer load
+// and a branch, cheap enough to leave compiled into release binaries.
+//
+// The package exists to prove the fault-isolation contract: every engine
+// must return a typed error — never crash, never hang — no matter which site
+// misbehaves. The matrix test in this package's test suite exercises every
+// registered site with every fault kind against every algorithm.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bicc/internal/par"
+)
+
+// Kind is the effect a rule injects at a matching site.
+type Kind uint8
+
+const (
+	// KindPanic panics with an *InjectedPanic, exercising the runtime's
+	// panic containment.
+	KindPanic Kind = iota
+	// KindDelay sleeps for the rule's Delay, exercising deadlines and
+	// slow-path behaviour.
+	KindDelay
+	// KindCancel trips the computation's Canceler with ErrInjected,
+	// simulating a spurious internal cancellation. At sites without a
+	// canceler it is a no-op.
+	KindCancel
+)
+
+// String names the kind as used in BICC_FAULTS specs.
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindCancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ErrInjected is the cancellation cause installed by KindCancel rules.
+var ErrInjected = errors.New("faults: injected cancellation")
+
+// InjectedPanic is the value thrown by KindPanic rules. It implements error
+// so tests can match it through par.PanicError's Unwrap chain with errors.As.
+type InjectedPanic struct {
+	Site   string
+	Worker int
+	Iter   int
+}
+
+func (e *InjectedPanic) Error() string {
+	return fmt.Sprintf("faults: injected panic at %s (worker %d, iter %d)", e.Site, e.Worker, e.Iter)
+}
+
+// Rule selects injection points and the fault to apply there. The zero value
+// matches nothing useful; build rules with NewRule or Parse.
+type Rule struct {
+	Kind Kind
+	// Site matches a registered site name exactly; "" or "*" match any site.
+	Site string
+	// Worker matches the worker index at the site; -1 matches any worker.
+	Worker int
+	// Iter matches the iteration number at the site; -1 matches any.
+	Iter int
+	// Every, when > 1, fires only at triples whose seeded hash of
+	// site:worker:iter is divisible by Every — a deterministic "1 in N".
+	Every int
+	// Count, when > 0, caps the number of times this rule fires.
+	Count int
+	// Delay is the sleep for KindDelay; <= 0 means 1ms.
+	Delay time.Duration
+
+	fired atomic.Int64
+}
+
+// NewRule returns a rule of the given kind matching every worker and
+// iteration of site (use "*" for all sites).
+func NewRule(kind Kind, site string) *Rule {
+	return &Rule{Kind: kind, Site: site, Worker: -1, Iter: -1}
+}
+
+// Fired reports how many times the rule has fired since activation.
+func (r *Rule) Fired() int64 { return r.fired.Load() }
+
+func (r *Rule) matches(seed uint64, site string, worker, iter int) bool {
+	if r.Site != "" && r.Site != "*" && r.Site != site {
+		return false
+	}
+	if r.Worker >= 0 && r.Worker != worker {
+		return false
+	}
+	if r.Iter >= 0 && r.Iter != iter {
+		return false
+	}
+	if r.Every > 1 && keyHash(seed, site, worker, iter)%uint64(r.Every) != 0 {
+		return false
+	}
+	// The count check mutates, so it must come after every pure predicate.
+	if r.Count > 0 && r.fired.Add(1) > int64(r.Count) {
+		return false
+	}
+	if r.Count <= 0 {
+		r.fired.Add(1)
+	}
+	return true
+}
+
+// keyHash is FNV-1a over "site:worker:iter" mixed with the plan seed; the
+// same triple always hashes the same way for a given seed, which is what
+// makes Every-based rules replayable.
+func keyHash(seed uint64, site string, worker, iter int) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := offset ^ seed
+	for i := 0; i < len(site); i++ {
+		h = (h ^ uint64(site[i])) * prime
+	}
+	h = (h ^ uint64(uint32(worker))) * prime
+	h = (h ^ uint64(uint32(iter))) * prime
+	// Final avalanche (splitmix64 tail) so low bits are usable for modulo.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return h
+}
+
+// Plan is an activatable set of rules with the seed that makes Every-based
+// rules deterministic.
+type Plan struct {
+	Seed  uint64
+	Rules []*Rule
+}
+
+var active atomic.Pointer[Plan]
+
+// Activate installs p as the process-wide fault plan. Passing nil is
+// equivalent to Deactivate. Tests that activate plans must not run in
+// parallel with tests that assume a fault-free engine.
+func Activate(p *Plan) { active.Store(p) }
+
+// Deactivate removes the active plan; injection points return to their
+// near-zero disabled cost.
+func Deactivate() { active.Store(nil) }
+
+// Enabled reports whether a fault plan is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Inject is the hook compiled into instrumented code. site is a registered
+// injection point, worker the worker index there (0 when single-threaded),
+// iter the site's iteration/round/phase number. c is the computation's
+// cancellation token when the site has one, else nil (KindCancel rules are
+// then inert at that site).
+func Inject(c *par.Canceler, site string, worker, iter int) {
+	p := active.Load()
+	if p == nil {
+		return
+	}
+	p.fire(c, site, worker, iter)
+}
+
+func (p *Plan) fire(c *par.Canceler, site string, worker, iter int) {
+	for _, r := range p.Rules {
+		if !r.matches(p.Seed, site, worker, iter) {
+			continue
+		}
+		switch r.Kind {
+		case KindPanic:
+			panic(&InjectedPanic{Site: site, Worker: worker, Iter: iter})
+		case KindDelay:
+			d := r.Delay
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			time.Sleep(d)
+		case KindCancel:
+			if c != nil {
+				c.Cancel(fmt.Errorf("%w at %s (worker %d, iter %d)", ErrInjected, site, worker, iter))
+			}
+		}
+	}
+}
+
+// --- site registry ---------------------------------------------------------
+
+var (
+	sitesMu sync.Mutex
+	sites   = map[string]bool{} // name -> has a canceler (KindCancel effective)
+)
+
+// RegisterSite declares a named injection point and returns the name, so
+// instrumented packages can register from a var initializer. cancelable
+// records whether Inject receives a non-nil canceler there (whether
+// KindCancel has any effect).
+func RegisterSite(name string, cancelable bool) string {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	sites[name] = cancelable
+	return name
+}
+
+// Sites returns every registered site name, sorted; the fault matrix test
+// iterates this to prove coverage.
+func Sites() []string {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SiteCancelable reports whether the named site passes a canceler to Inject.
+func SiteCancelable(name string) bool {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	return sites[name]
+}
+
+// --- environment activation ------------------------------------------------
+
+// EnvVar and EnvSeed are the environment knobs honored at process start:
+// EnvVar holds a Parse spec, EnvSeed the decimal seed (default 1).
+const (
+	EnvVar  = "BICC_FAULTS"
+	EnvSeed = "BICC_FAULTS_SEED"
+)
+
+func init() {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return
+	}
+	seed := uint64(1)
+	if s := os.Getenv(EnvSeed); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			seed = v
+		}
+	}
+	plan, err := Parse(spec, seed)
+	if err != nil {
+		// A typo in a debug env var must not take the daemon down.
+		fmt.Fprintf(os.Stderr, "faults: ignoring %s: %v\n", EnvVar, err)
+		return
+	}
+	Activate(plan)
+}
+
+// Parse builds a Plan from a spec string: rules separated by ';', each rule
+// a kind followed by comma-separated options:
+//
+//	kind[,site=NAME][,worker=N][,iter=N][,every=N][,count=N][,delay=DUR]
+//
+// e.g. "panic,site=spantree.bfs.level,count=1;delay,site=*,every=100,delay=2ms".
+func Parse(spec string, seed uint64) (*Plan, error) {
+	plan := &Plan{Seed: seed}
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		fields := strings.Split(rs, ",")
+		var kind Kind
+		switch strings.TrimSpace(fields[0]) {
+		case "panic":
+			kind = KindPanic
+		case "delay":
+			kind = KindDelay
+		case "cancel":
+			kind = KindCancel
+		default:
+			return nil, fmt.Errorf("unknown fault kind %q in rule %q", fields[0], rs)
+		}
+		r := NewRule(kind, "*")
+		for _, f := range fields[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+			if !ok {
+				return nil, fmt.Errorf("malformed option %q in rule %q (want key=value)", f, rs)
+			}
+			switch k {
+			case "site":
+				r.Site = v
+			case "worker", "iter", "every", "count":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("option %s=%q in rule %q: %v", k, v, rs, err)
+				}
+				switch k {
+				case "worker":
+					r.Worker = n
+				case "iter":
+					r.Iter = n
+				case "every":
+					r.Every = n
+				case "count":
+					r.Count = n
+				}
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return nil, fmt.Errorf("option delay=%q in rule %q: %v", v, rs, err)
+				}
+				r.Delay = d
+			default:
+				return nil, fmt.Errorf("unknown option %q in rule %q", k, rs)
+			}
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	if len(plan.Rules) == 0 {
+		return nil, errors.New("empty fault spec")
+	}
+	return plan, nil
+}

@@ -1,0 +1,196 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bicc/internal/par"
+)
+
+// firesAt reports whether injecting at (site, worker, iter) under plan
+// panics with an *InjectedPanic.
+func firesAt(p *Plan, site string, worker, iter int) (fired bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := v.(*InjectedPanic); !ok {
+				panic(v)
+			}
+			fired = true
+		}
+	}()
+	p.fire(nil, site, worker, iter)
+	return false
+}
+
+func TestRuleMatching(t *testing.T) {
+	mk := func(site string, worker, iter int) *Plan {
+		r := NewRule(KindPanic, site)
+		r.Worker, r.Iter = worker, iter
+		return &Plan{Rules: []*Rule{r}}
+	}
+	cases := []struct {
+		name         string
+		plan         *Plan
+		site         string
+		worker, iter int
+		want         bool
+	}{
+		{"exact site", mk("a.b", -1, -1), "a.b", 0, 0, true},
+		{"other site", mk("a.b", -1, -1), "a.c", 0, 0, false},
+		{"wildcard site", mk("*", -1, -1), "anything", 3, 9, true},
+		{"empty site matches all", mk("", -1, -1), "x", 0, 0, true},
+		{"worker match", mk("s", 2, -1), "s", 2, 5, true},
+		{"worker mismatch", mk("s", 2, -1), "s", 3, 5, false},
+		{"iter match", mk("s", -1, 7), "s", 0, 7, true},
+		{"iter mismatch", mk("s", -1, 7), "s", 0, 8, false},
+	}
+	for _, tc := range cases {
+		if got := firesAt(tc.plan, tc.site, tc.worker, tc.iter); got != tc.want {
+			t.Errorf("%s: fired=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRuleCountCapsFiring(t *testing.T) {
+	r := NewRule(KindPanic, "*")
+	r.Count = 2
+	p := &Plan{Rules: []*Rule{r}}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if firesAt(p, "s", 0, i) {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("rule with Count=2 fired %d times", fired)
+	}
+}
+
+func TestEveryIsDeterministicAndSelective(t *testing.T) {
+	// The same seed must select the same iterations; a different seed should
+	// (with overwhelming probability over 4096 samples) select differently,
+	// and roughly 1/8 of triples should fire.
+	sample := func(seed uint64) []bool {
+		out := make([]bool, 4096)
+		for i := range out {
+			r := NewRule(KindPanic, "*")
+			r.Every = 8
+			out[i] = firesAt(&Plan{Seed: seed, Rules: []*Rule{r}}, "s", i%4, i)
+		}
+		return out
+	}
+	a, b, c := sample(1), sample(1), sample(2)
+	fired, differ := 0, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed gave different decisions at %d", i)
+		}
+		if a[i] != c[i] {
+			differ = true
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if !differ {
+		t.Error("seeds 1 and 2 produced identical schedules")
+	}
+	if fired < 4096/16 || fired > 4096/4 {
+		t.Errorf("Every=8 fired %d/4096 times, want roughly 512", fired)
+	}
+}
+
+func TestKindDelaySleeps(t *testing.T) {
+	r := NewRule(KindDelay, "*")
+	r.Delay = 20 * time.Millisecond
+	p := &Plan{Rules: []*Rule{r}}
+	start := time.Now()
+	p.fire(nil, "s", 0, 0)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("delay rule slept %v, want ~20ms", d)
+	}
+}
+
+func TestKindCancelTripsCanceler(t *testing.T) {
+	c := &par.Canceler{}
+	p := &Plan{Rules: []*Rule{NewRule(KindCancel, "*")}}
+	p.fire(c, "s", 1, 2)
+	if err := c.Err(); !errors.Is(err, ErrInjected) {
+		t.Errorf("canceler cause = %v, want ErrInjected", err)
+	}
+}
+
+func TestKindCancelNilCancelerIsInert(t *testing.T) {
+	p := &Plan{Rules: []*Rule{NewRule(KindCancel, "*")}}
+	p.fire(nil, "s", 0, 0) // must not dereference the nil canceler
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	defer Deactivate()
+	if Enabled() {
+		t.Fatal("plan active at test start")
+	}
+	Inject(nil, "s", 0, 0) // disabled: must be a no-op
+	Activate(&Plan{Rules: []*Rule{NewRule(KindCancel, "*")}})
+	if !Enabled() {
+		t.Error("Activate did not enable")
+	}
+	c := &par.Canceler{}
+	Inject(c, "s", 0, 0)
+	if c.Err() == nil {
+		t.Error("active plan did not fire through Inject")
+	}
+	Deactivate()
+	if Enabled() {
+		t.Error("Deactivate left the plan active")
+	}
+}
+
+func TestRegisterSite(t *testing.T) {
+	name := RegisterSite("test.site.cancelable", true)
+	RegisterSite("test.site.plain", false)
+	if name != "test.site.cancelable" {
+		t.Errorf("RegisterSite returned %q", name)
+	}
+	if !SiteCancelable("test.site.cancelable") || SiteCancelable("test.site.plain") {
+		t.Error("SiteCancelable disagrees with registration")
+	}
+	found := 0
+	for _, s := range Sites() {
+		if s == "test.site.cancelable" || s == "test.site.plain" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("Sites() is missing registered sites (found %d of 2)", found)
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("panic,site=a.b,worker=1,iter=2,every=3,count=4; delay,delay=5ms ;cancel", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Rules) != 3 {
+		t.Fatalf("Parse gave seed %d, %d rules", p.Seed, len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Kind != KindPanic || r.Site != "a.b" || r.Worker != 1 || r.Iter != 2 || r.Every != 3 || r.Count != 4 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if p.Rules[1].Kind != KindDelay || p.Rules[1].Delay != 5*time.Millisecond {
+		t.Errorf("rule 1 = %+v", p.Rules[1])
+	}
+	if p.Rules[2].Kind != KindCancel || p.Rules[2].Site != "*" {
+		t.Errorf("rule 2 = %+v", p.Rules[2])
+	}
+
+	for _, bad := range []string{
+		"explode", "panic,site", "panic,worker=x", "panic,delay=x", "panic,wat=1", "", " ; ",
+	} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

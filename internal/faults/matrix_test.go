@@ -1,0 +1,172 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"bicc"
+	"bicc/internal/faults"
+	"bicc/internal/par"
+)
+
+// matrixGraph is a deterministic ~400-vertex graph with several blocks:
+// two chord-dense rings joined by a bridge, plus pendant vertices. Big
+// enough that every parallel engine runs its real phases.
+func matrixGraph(t *testing.T) *bicc.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	const half = 192
+	var edges []bicc.Edge
+	ring := func(base int32) {
+		for i := int32(0); i < half; i++ {
+			edges = append(edges, bicc.Edge{U: base + i, V: base + (i+1)%half})
+		}
+		for k := 0; k < half/2; k++ {
+			u := base + rng.Int31n(half)
+			v := base + rng.Int31n(half)
+			edges = append(edges, bicc.Edge{U: u, V: v})
+		}
+	}
+	ring(0)
+	ring(half)
+	edges = append(edges, bicc.Edge{U: 0, V: half}) // bridge between the rings
+	n := int32(2 * half)
+	for i := 0; i < 8; i++ { // pendant vertices: more bridges and cut vertices
+		edges = append(edges, bicc.Edge{U: rng.Int31n(n), V: n})
+		n++
+	}
+	g, _, _, err := bicc.NewGraphNormalized(int(n), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFaultMatrix is the fault-isolation contract: for every registered
+// injection site and every fault kind, every engine must either return a
+// correct result or a typed, attributable error — never crash the process,
+// never hang, never return a silently wrong decomposition.
+func TestFaultMatrix(t *testing.T) {
+	defer faults.Deactivate()
+	g := matrixGraph(t)
+	want, err := bicc.BiconnectedComponentsCtx(context.Background(), g,
+		&bicc.Options{Algorithm: bicc.Sequential})
+	if err != nil {
+		t.Fatalf("clean sequential run failed: %v", err)
+	}
+
+	algos := []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter}
+	kinds := []faults.Kind{faults.KindPanic, faults.KindDelay, faults.KindCancel}
+	sites := faults.Sites()
+	if len(sites) < 10 {
+		t.Fatalf("only %d registered sites (%v) — instrumentation missing?", len(sites), sites)
+	}
+	for _, site := range sites {
+		if strings.HasPrefix(site, "test.") {
+			continue // scratch sites registered by unit tests in this package
+		}
+		for _, kind := range kinds {
+			for _, algo := range algos {
+				t.Run(site+"/"+kind.String()+"/"+algo.String(), func(t *testing.T) {
+					r := faults.NewRule(kind, site)
+					switch kind {
+					case faults.KindPanic, faults.KindCancel:
+						r.Count = 1
+					case faults.KindDelay:
+						r.Count = 3
+						r.Delay = time.Millisecond
+					}
+					faults.Activate(&faults.Plan{Seed: 1, Rules: []*faults.Rule{r}})
+					defer faults.Deactivate()
+
+					res, err := bicc.BiconnectedComponentsCtx(context.Background(), g,
+						&bicc.Options{Algorithm: algo, Procs: 4})
+					// The derived views below (articulation points, bridges)
+					// run instrumented code too; verify them fault-free.
+					faults.Deactivate()
+					if err != nil {
+						// A fault the engine could not absorb must surface as
+						// a typed error traceable to the injection.
+						var pe *par.PanicError
+						var ip *faults.InjectedPanic
+						switch {
+						case errors.As(err, &ip):
+						case errors.Is(err, faults.ErrInjected):
+						case errors.As(err, &pe):
+						default:
+							t.Fatalf("untyped error %T: %v", err, err)
+						}
+						if kind == faults.KindDelay {
+							t.Fatalf("a pure delay must not fail the run: %v", err)
+						}
+						return
+					}
+					// The engine absorbed the fault (or never reached the
+					// site): the decomposition must still be exact.
+					if res.NumComponents != want.NumComponents {
+						t.Fatalf("silent corruption: %d components, want %d",
+							res.NumComponents, want.NumComponents)
+					}
+					if got, want := len(res.ArticulationPoints()), len(want.ArticulationPoints()); got != want {
+						t.Fatalf("silent corruption: %d articulation points, want %d", got, want)
+					}
+					if got, want := len(res.Bridges()), len(want.Bridges()); got != want {
+						t.Fatalf("silent corruption: %d bridges, want %d", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFaultMatrixWithFallback proves the supervisor half of the contract:
+// under FallbackSequential a persistent panic at any site still yields a
+// correct decomposition (degraded at worst), with the original fault
+// preserved as the cause.
+func TestFaultMatrixWithFallback(t *testing.T) {
+	defer faults.Deactivate()
+	g := matrixGraph(t)
+	want, err := bicc.BiconnectedComponentsCtx(context.Background(), g,
+		&bicc.Options{Algorithm: bicc.Sequential})
+	if err != nil {
+		t.Fatalf("clean sequential run failed: %v", err)
+	}
+	for _, site := range faults.Sites() {
+		if strings.HasPrefix(site, "test.") || site == "core.seq" {
+			// The sequential engine is the fallback's destination; a
+			// persistent fault there is covered by TestFaultMatrix.
+			continue
+		}
+		for _, algo := range []bicc.Algorithm{bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
+			t.Run(site+"/"+algo.String(), func(t *testing.T) {
+				faults.Activate(&faults.Plan{Seed: 1,
+					Rules: []*faults.Rule{faults.NewRule(faults.KindPanic, site)}})
+				defer faults.Deactivate()
+
+				res, err := bicc.BiconnectedComponentsCtx(context.Background(), g,
+					&bicc.Options{Algorithm: algo, Procs: 4, Fallback: bicc.FallbackSequential})
+				faults.Deactivate()
+				if err != nil {
+					t.Fatalf("fallback did not absorb persistent panic: %v", err)
+				}
+				if res.NumComponents != want.NumComponents {
+					t.Fatalf("wrong decomposition: %d components, want %d",
+						res.NumComponents, want.NumComponents)
+				}
+				if res.Degraded {
+					if res.Algorithm != bicc.Sequential {
+						t.Errorf("degraded result reports algorithm %v", res.Algorithm)
+					}
+					var ip *faults.InjectedPanic
+					if !errors.As(res.DegradedCause, &ip) {
+						t.Errorf("DegradedCause %v does not unwrap to the injected panic", res.DegradedCause)
+					}
+				}
+			})
+		}
+	}
+}

@@ -20,7 +20,16 @@ import (
 	"fmt"
 	"math/rand"
 
+	"bicc/internal/faults"
 	"bicc/internal/par"
+)
+
+// Fault-injection points: once per pointer-jumping round (Wyllie) and once
+// per sublist-walk block (Helman–JáJá). No cancellation token reaches list
+// ranking, so cancel-kind rules are inert here.
+var (
+	siteWyllie = faults.RegisterSite("listrank.wyllie", false)
+	siteHJ     = faults.RegisterSite("listrank.hj", false)
 )
 
 // SuffixSum returns, for every node i, the sum of vals over the nodes from i
@@ -36,7 +45,8 @@ func SuffixSum(p int, next []int32, vals []int32) []int32 {
 	})
 	scratchV := make([]int32, n)
 	scratchN := make([]int32, n)
-	for {
+	for round := 0; ; round++ {
+		faults.Inject(nil, siteWyllie, 0, round)
 		done := par.CountTrue(p, n, func(i int) bool { return nxt[i] == -1 })
 		if done == n {
 			break
@@ -126,6 +136,7 @@ func RanksHJ(p int, next []int32, head int32) ([]int32, error) {
 	succ := make([]int32, s)   // following sublist id, or -1 at list end
 	length := make([]int32, s) // nodes in this sublist
 	par.For(p, s, func(lo, hi int) {
+		faults.Inject(nil, siteHJ, 0, lo)
 		for sl := lo; sl < hi; sl++ {
 			v := heads[sl]
 			r := int32(0)
@@ -216,7 +227,8 @@ func suffixOp(p int, next []int32, vals []int32, op func(a, b int32) int32) []in
 	})
 	scratchV := make([]int32, n)
 	scratchN := make([]int32, n)
-	for {
+	for round := 0; ; round++ {
+		faults.Inject(nil, siteWyllie, 0, round)
 		done := par.CountTrue(p, n, func(i int) bool { return nxt[i] == -1 })
 		if done == n {
 			break

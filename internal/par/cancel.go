@@ -74,6 +74,10 @@ const cancelGrain = 8192
 // the remainder once c trips. Bodies must therefore tolerate being invoked
 // on sub-ranges of a worker's block (every body written for ForDynamic
 // already does). With a nil canceler it is exactly For.
+//
+// A panic in body does not propagate: it is recovered into c as a
+// *PanicError, which cancels the sibling workers' polls, and ForC returns
+// normally. Callers observe the failure through c.Err().
 func ForC(c *Canceler, p, n int, body func(lo, hi int)) {
 	if c == nil {
 		For(p, n, body)
@@ -88,7 +92,9 @@ func ForC(c *Canceler, p, n int, body func(lo, hi int)) {
 			if end > hi {
 				end = hi
 			}
-			body(lo, end)
+			if !guardInto(c, -1, func() { body(lo, end) }) {
+				return
+			}
 			lo = end
 		}
 	})
@@ -97,6 +103,7 @@ func ForC(c *Canceler, p, n int, body func(lo, hi int)) {
 // ForDynamicC is ForDynamic with cooperative cancellation: workers poll c
 // before claiming each chunk, so a tripped token stops the loop after at
 // most one chunk per worker. With a nil canceler it is exactly ForDynamic.
+// Panics in body are recovered into c like ForC.
 func ForDynamicC(c *Canceler, p, n, grain int, body func(lo, hi int)) {
 	if c == nil {
 		ForDynamic(p, n, grain, body)
@@ -106,6 +113,31 @@ func ForDynamicC(c *Canceler, p, n, grain int, body func(lo, hi int)) {
 		if c.Err() != nil {
 			return
 		}
-		body(lo, hi)
+		guardInto(c, -1, func() { body(lo, hi) })
 	})
+}
+
+// RunC is Run with panic containment through the canceler: a worker panic is
+// recovered into c as a *PanicError, tripping the polls of sibling workers
+// so SPMD bodies that wait on each other (work-stealing loops, shared
+// counters) drain instead of deadlocking on a worker that died. RunC returns
+// the recovered *PanicError (nil when every worker finished or c tripped for
+// another reason). c must not be nil: without a shared token the siblings
+// could never learn about the failure.
+func RunC(c *Canceler, p int, fn func(worker int)) *PanicError {
+	if c == nil {
+		panic("par: RunC requires a non-nil Canceler")
+	}
+	var pb panicBox
+	Run(p, func(w int) {
+		defer func() {
+			if v := recover(); v != nil {
+				pe := AsPanicError(w, v)
+				pb.first.CompareAndSwap(nil, pe)
+				c.Cancel(pe)
+			}
+		}()
+		fn(w)
+	})
+	return pb.first.Load()
 }

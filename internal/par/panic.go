@@ -1,0 +1,88 @@
+package par
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// PanicError wraps a panic recovered from a parallel worker goroutine. The
+// runtime converts every worker panic into one of these so that a bug in a
+// loop body can never crash the process from an unjoined goroutine: the
+// canceler-aware primitives (ForC, ForDynamicC, RunC) record it as the
+// cancellation cause, and the plain primitives re-raise it on the calling
+// goroutine where an ordinary recover applies.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Worker is the index of the worker that panicked, or -1 when the
+	// primitive does not expose worker identities.
+	Worker int
+	// Stack is the panicking goroutine's stack trace, captured at the
+	// recovery point.
+	Stack []byte
+}
+
+// Error formats the panic with its origin; the stack is available separately
+// so logs can choose their verbosity.
+func (e *PanicError) Error() string {
+	if e.Worker >= 0 {
+		return fmt.Sprintf("par: panic in worker %d: %v", e.Worker, e.Value)
+	}
+	return fmt.Sprintf("par: panic: %v", e.Value)
+}
+
+// Unwrap exposes the panic value when it is itself an error, so callers can
+// match injected or sentinel errors through errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// AsPanicError wraps an arbitrary recovered value, passing existing
+// *PanicError values through unchanged (a re-raised worker panic keeps its
+// original stack and worker id).
+func AsPanicError(worker int, v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: v, Worker: worker, Stack: debug.Stack()}
+}
+
+// panicBox collects the first panic recovered across a fork-join's workers.
+type panicBox struct {
+	first atomic.Pointer[PanicError]
+}
+
+// capture is deferred inside every spawned worker; it recovers a panic and
+// records the first one.
+func (b *panicBox) capture(worker int) {
+	if v := recover(); v != nil {
+		b.first.CompareAndSwap(nil, AsPanicError(worker, v))
+	}
+}
+
+// rethrow re-raises the first captured panic on the calling goroutine after
+// all workers have joined. The panic value is always a *PanicError carrying
+// the original worker's stack.
+func (b *panicBox) rethrow() {
+	if pe := b.first.Load(); pe != nil {
+		panic(pe)
+	}
+}
+
+// guardInto invokes fn and recovers a panic into the canceler as a
+// *PanicError, tripping sibling workers' cancellation polls. It reports
+// whether fn completed without panicking.
+func guardInto(c *Canceler, worker int, fn func()) (ok bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			c.Cancel(AsPanicError(worker, v))
+			ok = false
+		}
+	}()
+	fn()
+	return true
+}

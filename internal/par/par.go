@@ -48,6 +48,10 @@ func Block(n, p, i int) (lo, hi int) {
 // scheduling regime of the paper's SMP codes (one thread per processor,
 // block-distributed loops). body must be safe to run concurrently on
 // disjoint ranges.
+//
+// A panic in body never escapes a worker goroutine (which would kill the
+// process): all workers are joined and the first panic is re-raised on the
+// calling goroutine as a *PanicError, recoverable like any ordinary panic.
 func For(p, n int, body func(lo, hi int)) {
 	p = Procs(p)
 	if n <= 0 {
@@ -60,16 +64,19 @@ func For(p, n int, body func(lo, hi int)) {
 	if p > n {
 		p = n
 	}
+	var pb panicBox
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for i := 0; i < p; i++ {
 		lo, hi := Block(n, p, i)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer pb.capture(w)
 			body(lo, hi)
-		}(lo, hi)
+		}(i, lo, hi)
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // ForWorker is For with the worker index passed to the body, for algorithms
@@ -86,16 +93,19 @@ func ForWorker(p, n int, body func(worker, lo, hi int)) {
 	if p > n {
 		p = n
 	}
+	var pb panicBox
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for i := 0; i < p; i++ {
 		lo, hi := Block(n, p, i)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer pb.capture(w)
 			body(w, lo, hi)
 		}(i, lo, hi)
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // ForDynamic runs body over [0, n) in chunks of the given grain, handed out
@@ -115,13 +125,18 @@ func ForDynamic(p, n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	var pb panicBox
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for i := 0; i < p; i++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			defer pb.capture(w)
 			for {
+				if pb.first.Load() != nil {
+					return // a sibling panicked; stop claiming chunks
+				}
 				lo := int(next.Add(int64(grain))) - grain
 				if lo >= n {
 					return
@@ -132,29 +147,37 @@ func ForDynamic(p, n, grain int, body func(lo, hi int)) {
 				}
 				body(lo, hi)
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // Run launches fn on p workers (worker ids 0..p-1) and waits for all of
 // them; the SPMD building block used by the multi-phase algorithms that need
-// barriers between phases.
+// barriers between phases. Like For, a worker panic is joined and re-raised
+// on the caller as a *PanicError. SPMD bodies that synchronize with each
+// other (barriers, spin loops on shared counters) should prefer RunC, whose
+// canceler lets siblings observe the failure and drain instead of waiting
+// for a worker that will never arrive.
 func Run(p int, fn func(worker int)) {
 	p = Procs(p)
 	if p == 1 {
 		fn(0)
 		return
 	}
+	var pb panicBox
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for i := 0; i < p; i++ {
 		go func(w int) {
 			defer wg.Done()
+			defer pb.capture(w)
 			fn(w)
 		}(i)
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // Barrier is a reusable software barrier for p participants, the analogue of

@@ -10,7 +10,18 @@
 // auxiliary edge list.
 package prefix
 
-import "bicc/internal/par"
+import (
+	"bicc/internal/faults"
+	"bicc/internal/par"
+)
+
+// Fault-injection points: one per worker in the first scan pass and in the
+// compaction scatter. Prefix sums have no cancellation token, so injected
+// cancellations are inert here; panics surface through the par runtime.
+var (
+	siteScan    = faults.RegisterSite("prefix.scan", false)
+	siteCompact = faults.RegisterSite("prefix.compact", false)
+)
 
 // InclusiveSum32 computes in-place inclusive prefix sums of xs using p
 // workers: xs[i] becomes xs[0]+...+xs[i]. It returns the total.
@@ -34,6 +45,7 @@ func InclusiveSum32(p int, xs []int32) int32 {
 	totals := make([]int32, p)
 	// Pass 1: sequential scan within each block; record block totals.
 	par.ForWorker(p, n, func(w, lo, hi int) {
+		faults.Inject(nil, siteScan, w, 0)
 		var acc int32
 		for i := lo; i < hi; i++ {
 			acc += xs[i]
@@ -180,6 +192,7 @@ func scan32(p int, xs []int32, op func(a, b int32) int32) {
 	}
 	totals := make([]int32, p)
 	par.ForWorker(p, n, func(w, lo, hi int) {
+		faults.Inject(nil, siteScan, w, 1)
 		for i := lo + 1; i < hi; i++ {
 			xs[i] = op(xs[i-1], xs[i])
 		}
@@ -218,6 +231,7 @@ func Compact(p, n int, keep func(i int) bool) []int32 {
 	total := ExclusiveSum32(p, flags)
 	out := make([]int32, total)
 	par.For(p, n, func(lo, hi int) {
+		faults.Inject(nil, siteCompact, 0, lo)
 		for i := lo; i < hi; i++ {
 			if keep(i) {
 				out[flags[i]] = int32(i)

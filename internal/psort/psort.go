@@ -14,7 +14,16 @@ import (
 	"math/rand"
 	"sort"
 
+	"bicc/internal/faults"
 	"bicc/internal/par"
+)
+
+// Fault-injection points: per worker in the sample-sort histogram pass and
+// per (digit, worker) in the radix passes. Sorting has no cancellation
+// token, so cancel-kind rules are inert here.
+var (
+	siteSample = faults.RegisterSite("psort.sample", false)
+	siteRadix  = faults.RegisterSite("psort.radix", false)
 )
 
 // Pair is a sortable (key, payload) record.
@@ -79,6 +88,7 @@ func sampleSort[T any](p int, xs []T, key func(T) uint64, sortFn func([]T)) {
 	// Pass 1: per-worker bucket histograms.
 	counts := make([][]int32, p)
 	par.ForWorker(p, n, func(w, lo, hi int) {
+		faults.Inject(nil, siteSample, w, 0)
 		c := make([]int32, p)
 		for i := lo; i < hi; i++ {
 			c[bucketOf(key(xs[i]))]++
@@ -112,6 +122,7 @@ func sampleSort[T any](p int, xs []T, key func(T) uint64, sortFn func([]T)) {
 	})
 	// Pass 3: sort each bucket independently and copy back.
 	par.Run(p, func(w int) {
+		faults.Inject(nil, siteSample, w, 1)
 		seg := tmp[bucketStart[w]:bucketStart[w+1]]
 		sortFn(seg)
 		copy(xs[bucketStart[w]:bucketStart[w+1]], seg)
@@ -145,6 +156,7 @@ func RadixSortPairs(p int, items []Pair) {
 		// Per-worker histograms.
 		counts := make([][]int32, p)
 		par.ForWorker(p, n, func(w, lo, hi int) {
+			faults.Inject(nil, siteRadix, w, d)
 			c := make([]int32, radix)
 			for i := lo; i < hi; i++ {
 				c[(src[i].Key>>shift)&0xFF]++

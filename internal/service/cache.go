@@ -39,8 +39,11 @@ type cacheEntry struct {
 // computation; completed results are kept for maxEntries keys and evicted
 // least recently used.
 //
-// Errors are never cached: a failed or canceled computation is forgotten so
-// the next identical query retries from scratch.
+// Errors and degraded results are never cached: a failed, canceled, or
+// fallback-produced computation is forgotten so the next identical query
+// retries the real engine from scratch — a transient engine fault must not
+// poison the cache with sequential-quality answers for the cache's
+// lifetime.
 type ResultCache struct {
 	mu         sync.Mutex
 	entries    map[resultKey]*cacheEntry
@@ -120,9 +123,10 @@ func (c *ResultCache) Do(ctx context.Context, key resultKey,
 		e.cancel = nil
 		close(e.ready)
 		cancel()
-		if err != nil || c.maxEntries <= 0 || c.entries[key] != e {
-			// Never cache failures, and don't resurrect an entry every
-			// waiter abandoned (wait already removed it from the map).
+		if err != nil || res == nil || res.Degraded || c.maxEntries <= 0 || c.entries[key] != e {
+			// Never cache failures or degraded (fallback) results, and don't
+			// resurrect an entry every waiter abandoned (wait already
+			// removed it from the map).
 			if c.entries[key] == e {
 				delete(c.entries, key)
 			}

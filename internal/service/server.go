@@ -13,6 +13,15 @@
 //     deadlines threaded down into the engines' parallel loops, and 429 +
 //     Retry-After once the queue is full.
 //
+// The service is fault-isolated from the engines: engine panics are
+// contained by the parallel runtime and arrive here as typed errors, a
+// per-algorithm circuit breaker routes queries away from a parallel engine
+// that keeps faulting (open after N consecutive faults, half-open probes
+// after a cooldown), degraded results are never cached, and a
+// panic-recovery middleware turns handler bugs into 500s instead of killed
+// connections. /healthz reports "degraded" while any breaker is open and
+// "draining" during graceful shutdown.
+//
 // Endpoints: POST/GET/DELETE /v1/graphs, POST /v1/bcc, GET /healthz,
 // GET /statsz.
 package service
@@ -23,16 +32,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"path"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bicc"
 	"bicc/internal/graph"
+	"bicc/internal/par"
 )
 
 // Config tunes a Server. The zero value picks sane defaults for every
@@ -60,6 +72,20 @@ type Config struct {
 	// from the server's filesystem. Off by default: a network-facing daemon
 	// must not be a file-disclosure oracle.
 	AllowLocalFiles bool
+	// BreakerThreshold is the number of consecutive engine faults that opens
+	// an algorithm's circuit breaker; <= 0 means 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting a
+	// half-open probe through; <= 0 means 15 s.
+	BreakerCooldown time.Duration
+	// AttemptTimeout bounds each parallel engine attempt under the fallback
+	// policy; <= 0 means half the query deadline is left to the engine's own
+	// context (no separate per-attempt bound).
+	AttemptTimeout time.Duration
+	// NoFallback disables the sequential fallback policy: engine faults are
+	// returned to clients as errors instead of degraded results. Breakers
+	// still track faults.
+	NoFallback bool
 	// Compute runs one BCC query. Nil means bicc.BiconnectedComponentsCtx;
 	// tests substitute instrumented engines.
 	Compute func(ctx context.Context, g *bicc.Graph, opt *bicc.Options) (*bicc.Result, error)
@@ -90,6 +116,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 15 * time.Second
+	}
 	if c.Compute == nil {
 		c.Compute = func(ctx context.Context, g *bicc.Graph, opt *bicc.Options) (*bicc.Result, error) {
 			return bicc.BiconnectedComponentsCtx(ctx, g, opt)
@@ -105,6 +137,11 @@ type Server struct {
 	cache     *ResultCache
 	admission *Admission
 	stats     Stats
+	// breakers guard the parallel algorithms (and auto, which resolves to
+	// one of them); the sequential engine has none — it is the path of last
+	// resort.
+	breakers map[string]*Breaker
+	draining atomic.Bool
 }
 
 // New returns a Server with the given configuration.
@@ -115,10 +152,14 @@ func New(cfg Config) *Server {
 		registry:  NewRegistry(cfg.MaxGraphBytes),
 		cache:     NewResultCache(cfg.CacheEntries),
 		admission: NewAdmission(cfg.Workers, cfg.Queue),
+		breakers:  map[string]*Breaker{},
 	}
 	s.stats.perAlgorithm = map[string]*Histogram{}
 	for _, a := range []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
 		s.stats.perAlgorithm[a.String()] = &Histogram{}
+	}
+	for _, a := range []bicc.Algorithm{bicc.Auto, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
+		s.breakers[a.String()] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	return s
 }
@@ -127,7 +168,8 @@ func New(cfg Config) *Server {
 // it).
 func (s *Server) Registry() *Registry { return s.registry }
 
-// Handler returns the HTTP routing for all bccd endpoints.
+// Handler returns the HTTP routing for all bccd endpoints, wrapped in the
+// drain gate and the panic-recovery middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -138,7 +180,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs/{fp}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{fp}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/bcc", s.handleBCC)
-	return mux
+	return PanicRecovery(s.drainGate(mux), func() { s.stats.HandlerPanics.Add(1) })
+}
+
+// retryAfterSeconds renders the Retry-After hint with uniform jitter in
+// [base/2, 3*base/2]: a burst of rejected clients that all honor the header
+// literally must not come back as one synchronized wave.
+func (s *Server) retryAfterSeconds() string {
+	base := s.cfg.RetryAfter
+	j := base/2 + time.Duration(rand.Int64N(int64(base)+1))
+	secs := int((j + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // --- helpers ---------------------------------------------------------------
@@ -336,6 +391,11 @@ type queryResult struct {
 	Bridges            []int32          `json:"bridges,omitempty"`
 	Components         [][]int32        `json:"components,omitempty"`
 	BlockCut           *blockCutJSON    `json:"blockcut,omitempty"`
+	// Degraded marks a result produced by the sequential fallback (engine
+	// fault or open circuit breaker) instead of the requested parallel
+	// engine. Degraded results are correct but are never cached.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 }
 
 type blockCutJSON struct {
@@ -410,13 +470,13 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.stats.Rejected.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)+1))
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			s.stats.Canceled.Add(1)
 			// 503 with Retry-After: the deadline expired before the engine
 			// finished, typically because the box is saturated.
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)+1))
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			writeError(w, http.StatusServiceUnavailable, "query did not finish in time: %v", err)
 		default:
 			writeError(w, http.StatusInternalServerError, "%v", err)
@@ -427,7 +487,10 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 }
 
 // compute admits and runs one engine computation, then derives every
-// cacheable view the include set asks for.
+// cacheable view the include set asks for. It is the fault-isolation
+// boundary of the service: the circuit breaker decides whether the parallel
+// path may be used at all, the engine runs under the sequential-fallback
+// policy, and outcomes feed the breaker and the fault counters.
 func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm, procs int, include map[string]bool) (*queryResult, error) {
 	release, err := s.admission.Acquire(ctx)
 	if err != nil {
@@ -438,11 +501,46 @@ func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm
 		return nil, err
 	}
 	s.stats.Computations.Add(1)
+
+	runAlgo := algo
+	br := s.breakers[algo.String()]
+	var routedCause string
+	if br != nil && !br.Allow() {
+		// The breaker is open: don't burn workers on a path that keeps
+		// faulting, answer from the sequential engine instead.
+		s.stats.BreakerRouted.Add(1)
+		runAlgo = bicc.Sequential
+		routedCause = fmt.Sprintf("circuit breaker open for %s", algo)
+		br = nil // a routed-around request carries no signal for the breaker
+	}
+	opt := &bicc.Options{Algorithm: runAlgo, Procs: procs}
+	if !s.cfg.NoFallback {
+		opt.Fallback = bicc.FallbackSequential
+		opt.AttemptTimeout = s.cfg.AttemptTimeout
+	}
+
 	start := time.Now()
-	res, err := s.cfg.Compute(ctx, g, &bicc.Options{Algorithm: algo, Procs: procs})
+	res, err := s.safeCompute(ctx, g, opt)
 	elapsed := time.Since(start)
+
+	// Breaker accounting: caller-side cancellation says nothing about engine
+	// health and is not recorded; everything else (clean, error, panic,
+	// degraded fallback) is.
+	if br != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		br.Record(err != nil || (res != nil && res.Degraded))
+	}
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		s.stats.EnginePanics.Add(1)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if res.Degraded {
+		s.stats.Fallbacks.Add(1)
+		if errors.As(res.DegradedCause, &pe) {
+			s.stats.EnginePanics.Add(1)
+		}
 	}
 	if h := s.stats.perAlgorithm[res.Algorithm.String()]; h != nil {
 		h.Observe(elapsed)
@@ -478,15 +576,56 @@ func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm
 			LeafBlocks:  t.LeafBlocks(),
 		}
 	}
+	if res.Degraded {
+		out.Degraded = true
+		if res.DegradedCause != nil {
+			out.DegradedCause = res.DegradedCause.Error()
+		}
+	}
+	if routedCause != "" {
+		out.Degraded = true
+		if out.DegradedCause == "" {
+			out.DegradedCause = routedCause
+		}
+	}
 	return out, nil
+}
+
+// safeCompute invokes the configured engine with a recover of last resort:
+// compute runs on a cache goroutine, where an escaped panic would kill the
+// whole daemon. The parallel runtime already contains engine panics; this
+// guards Compute implementations substituted by tests or future embedders.
+func (s *Server) safeCompute(ctx context.Context, g *bicc.Graph, opt *bicc.Options) (res *bicc.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, par.AsPanicError(-1, v)
+		}
+	}()
+	return s.cfg.Compute(ctx, g, opt)
 }
 
 // --- health & stats --------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	breakers := map[string]string{}
+	for name, b := range s.breakers {
+		st := b.State()
+		breakers[name] = st.String()
+		if st != BreakerClosed {
+			// An open (or probing) breaker means some parallel engine keeps
+			// faulting and its queries are served sequentially: alive, but
+			// slower than advertised.
+			status = "degraded"
+		}
+	}
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": s.admission.Workers(),
+		"status":   status,
+		"workers":  s.admission.Workers(),
+		"breakers": breakers,
 	})
 }
 
@@ -511,7 +650,15 @@ func (s *Server) Snapshot() StatsSnapshot {
 		CachedResults: s.cache.Len(),
 		Graphs:        s.registry.Len(),
 		GraphBytes:    s.registry.Bytes(),
+		EnginePanics:  s.stats.EnginePanics.Load(),
+		Fallbacks:     s.stats.Fallbacks.Load(),
+		BreakerRouted: s.stats.BreakerRouted.Load(),
+		HandlerPanics: s.stats.HandlerPanics.Load(),
+		Breakers:      map[string]BreakerSnapshot{},
 		Latency:       map[string]HistogramSnapshot{},
+	}
+	for name, b := range s.breakers {
+		snap.Breakers[name] = BreakerSnapshot{State: b.State().String(), Opens: b.Opens()}
 	}
 	if served := snap.CacheHits + snap.CacheMisses + snap.Coalesced; served > 0 {
 		snap.CacheHitRate = float64(snap.CacheHits+snap.Coalesced) / float64(served)

@@ -105,7 +105,12 @@ type Stats struct {
 	Canceled     atomic.Int64 // requests that died on context before/while computing
 	Computations atomic.Int64 // engine runs actually started
 	GraphUploads atomic.Int64
-	perAlgorithm map[string]*Histogram
+	// Fault-isolation counters.
+	EnginePanics  atomic.Int64 // contained engine panics (par.PanicError seen)
+	Fallbacks     atomic.Int64 // results produced by the sequential fallback
+	BreakerRouted atomic.Int64 // queries routed to sequential by an open breaker
+	HandlerPanics atomic.Int64 // HTTP handler panics recovered by middleware
+	perAlgorithm  map[string]*Histogram
 }
 
 // StatsSnapshot is the JSON shape of /statsz.
@@ -121,11 +126,23 @@ type StatsSnapshot struct {
 	GraphEvicted int64 `json:"graphs_evicted"`
 	// CacheHitRate is hits / (hits + misses + coalesced), the fraction of
 	// queries that did not start their own computation beyond the first.
-	CacheHitRate  float64                      `json:"cache_hit_rate"`
-	QueueDepth    int                          `json:"queue_depth"`
-	Inflight      int                          `json:"inflight"`
-	CachedResults int                          `json:"cached_results"`
-	Graphs        int                          `json:"graphs"`
-	GraphBytes    int64                        `json:"graph_bytes"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	QueueDepth    int     `json:"queue_depth"`
+	Inflight      int     `json:"inflight"`
+	CachedResults int     `json:"cached_results"`
+	Graphs        int     `json:"graphs"`
+	GraphBytes    int64   `json:"graph_bytes"`
+	// Fault-isolation telemetry.
+	EnginePanics  int64                        `json:"engine_panics"`
+	Fallbacks     int64                        `json:"fallbacks"`
+	BreakerRouted int64                        `json:"breaker_routed"`
+	HandlerPanics int64                        `json:"handler_panics"`
+	Breakers      map[string]BreakerSnapshot   `json:"breakers,omitempty"`
 	Latency       map[string]HistogramSnapshot `json:"latency_ns_by_algorithm"`
+}
+
+// BreakerSnapshot is one algorithm's circuit-breaker state on /statsz.
+type BreakerSnapshot struct {
+	State string `json:"state"`
+	Opens int64  `json:"opens"`
 }

@@ -18,8 +18,18 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"bicc/internal/faults"
 	"bicc/internal/graph"
 	"bicc/internal/par"
+)
+
+// Fault-injection points, all with the computation's canceler: per
+// graft/shortcut round in SV, per expansion batch in the work-stealing
+// traversal, and per level in BFS.
+var (
+	siteSV    = faults.RegisterSite("spantree.sv", true)
+	siteSteal = faults.RegisterSite("spantree.steal", true)
+	siteBFS   = faults.RegisterSite("spantree.bfs.level", true)
 )
 
 // Forest is an unrooted spanning forest given as a set of edge indices into
@@ -68,10 +78,11 @@ func SVC(c *par.Canceler, p int, n int32, edges []graph.Edge) *Forest {
 		}
 	})
 	var changed atomic.Bool
-	for {
+	for round := 0; ; round++ {
 		if c.Err() != nil {
 			return &Forest{N: n, Labels: d}
 		}
+		faults.Inject(c, siteSV, 0, round)
 		changed.Store(false)
 		par.ForDynamicC(c, p, len(edges), 0, func(lo, hi int) {
 			localChanged := false
@@ -161,6 +172,14 @@ func WorkStealingC(cn *par.Canceler, p int, c *graph.CSR) *RootedForest {
 
 // traverse runs the work-stealing expansion of one component from root s.
 func traverse(cn *par.Canceler, p int, c *graph.CSR, parent, parentEdge []int32, s int32) {
+	// Idle workers spin on the shared work counter waiting for stragglers, so
+	// a panicking worker must trip a cancellation token or its siblings would
+	// wait forever for work that will never be retired. Without a caller
+	// token, use a private one and re-raise the contained panic afterwards.
+	localToken := cn == nil
+	if localToken {
+		cn = &par.Canceler{}
+	}
 	deques := make([]*par.Deque, p)
 	for i := range deques {
 		deques[i] = par.NewDeque(256)
@@ -170,13 +189,14 @@ func traverse(cn *par.Canceler, p int, c *graph.CSR, parent, parentEdge []int32,
 	// the traversal is complete when it reaches zero.
 	var work atomic.Int64
 	work.Store(1)
-	par.Run(p, func(w int) {
+	pe := par.RunC(cn, p, func(w int) {
 		my := deques[w]
 		stealBuf := make([]int32, 0, 256)
-		for {
+		for iter := 0; ; iter++ {
 			if cn.Err() != nil {
 				return
 			}
+			faults.Inject(cn, siteSteal, w, iter)
 			v, ok := my.Pop()
 			if !ok {
 				if work.Load() == 0 {
@@ -213,6 +233,9 @@ func traverse(cn *par.Canceler, p int, c *graph.CSR, parent, parentEdge []int32,
 			work.Add(-1)
 		}
 	})
+	if localToken && pe != nil {
+		panic(pe)
+	}
 }
 
 // BFS computes a rooted spanning forest by level-synchronous parallel
@@ -255,6 +278,7 @@ func BFSC(cn *par.Canceler, p int, c *graph.CSR) *RootedForest {
 			if cn.Err() != nil {
 				return &RootedForest{N: n, Parent: parent, ParentEdge: parentEdge, Roots: roots, Level: level}
 			}
+			faults.Inject(cn, siteBFS, 0, int(depth))
 			depth++
 			par.ForWorker(p, len(frontier), func(w, lo, hi int) {
 				buf := nextBufs[w][:0]
