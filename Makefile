@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fmt vet clean
 
 all: build test
 
@@ -47,9 +47,26 @@ test-faults:
 bench-json:
 	$(GO) run ./cmd/bccjson -scale $(SCALE) -reps $(REPS) -o BENCH_1.json
 
+# Observability suite: the obs registry/exposition/trace tests (race-enabled,
+# including the concurrent Observe-vs-scrape check) and the service's
+# /metrics + ?trace=1 integration tests.
+test-obs:
+	$(GO) test -race ./internal/obs -run . -count=1
+	$(GO) test -race -run 'Trace|Metrics' ./internal/service -count=1
+
+# Static analysis for the obs package beyond go vet. staticcheck is optional:
+# the target degrades to a notice when the tool isn't installed.
+lint-obs:
+	$(GO) vet ./internal/obs
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./internal/obs; \
+	else \
+		echo "lint-obs: staticcheck not installed, skipped"; \
+	fi
+
 # The gate run before merging: static checks, race-clean tests, the
-# fault-isolation suite, and a benchmark snapshot.
-ci: vet race test-faults bench-json
+# fault-isolation suite, the observability suite, and a benchmark snapshot.
+ci: vet lint-obs race test-faults test-obs bench-json
 
 fmt:
 	gofmt -l -w .

@@ -27,12 +27,21 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"bicc/internal/core"
 	"bicc/internal/graph"
+	"bicc/internal/obs"
 	"bicc/internal/par"
 )
+
+// phaseSeconds is the live per-phase breakdown of every engine run — the
+// paper's Fig. 4 as a scrapeable histogram family. Observation is gated by
+// obs.Enabled() so benchmark runs stay unperturbed.
+var phaseSeconds = obs.Default().HistogramVec("bicc_phase_seconds",
+	"Engine execution time per TV pipeline phase (the paper's Fig. 4 breakdown).",
+	"algorithm", "phase")
 
 // Edge is one undirected edge between vertices U and V.
 type Edge = graph.Edge
@@ -271,7 +280,7 @@ func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Res
 	}
 
 	if o.Fallback != FallbackSequential || algo == Sequential {
-		res, err := runAttempt(ctx, g.el, algo, p, 0)
+		res, err := runAttempt(ctx, g.el, algo, p, 0, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +292,7 @@ func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Res
 	// cannot share the parallel runtime's failure modes.
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		res, err := runAttempt(ctx, g.el, algo, p, o.AttemptTimeout)
+		res, err := runAttempt(ctx, g.el, algo, p, o.AttemptTimeout, attempt)
 		if err == nil {
 			return newResult(res, algo, g.el), nil
 		}
@@ -294,7 +303,7 @@ func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Res
 		}
 		lastErr = err
 	}
-	res, err := runAttempt(ctx, g.el, Sequential, 1, 0)
+	res, err := runAttempt(ctx, g.el, Sequential, 1, 0, 2)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
@@ -309,8 +318,11 @@ func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Res
 
 // runAttempt executes one engine run under its own cancellation token,
 // watching the caller's context and, when attemptTimeout > 0, a per-attempt
-// deadline that cancels with ErrAttemptTimeout.
-func runAttempt(ctx context.Context, el *graph.EdgeList, algo Algorithm, p int, attemptTimeout time.Duration) (*core.Result, error) {
+// deadline that cancels with ErrAttemptTimeout. When the context carries an
+// obs trace, the run becomes one span named after the algorithm (labeled
+// with the attempt number and worker count) with a child span per pipeline
+// phase, so ?trace=1 on bccd shows exactly which attempt ran which phases.
+func runAttempt(ctx context.Context, el *graph.EdgeList, algo Algorithm, p int, attemptTimeout time.Duration, attempt int) (res *core.Result, err error) {
 	cancel := &par.Canceler{}
 	stop := cancel.Watch(ctx)
 	defer stop()
@@ -318,20 +330,37 @@ func runAttempt(ctx context.Context, el *graph.EdgeList, algo Algorithm, p int, 
 		t := time.AfterFunc(attemptTimeout, func() { cancel.Cancel(ErrAttemptTimeout) })
 		defer t.Stop()
 	}
+	_, sp := obs.StartSpan(ctx, algo.String())
+	sp.SetLabel("attempt", strconv.Itoa(attempt))
+	sp.SetLabel("procs", strconv.Itoa(p))
+	defer func() {
+		if err != nil {
+			sp.SetLabel("error", err.Error())
+		}
+		sp.End()
+	}()
 	switch algo {
 	case Sequential:
-		return core.SequentialC(cancel, el)
-	case TVSMP:
-		return core.TVSMPC(cancel, p, el)
-	case TVOpt:
-		return core.TVOptC(cancel, p, el)
-	case TVFilter:
-		return core.TVFilterC(cancel, p, el)
+		return core.SequentialT(cancel, sp, el)
+	case TVSMP, TVOpt, TVFilter:
+		var cfg core.Config
+		switch algo {
+		case TVSMP:
+			cfg = core.TVSMPConfig()
+		case TVOpt:
+			cfg = core.TVOptConfig()
+		default:
+			cfg = core.TVFilterConfig()
+		}
+		cfg.Cancel, cfg.Span = cancel, sp
+		return core.Custom(p, el, cfg)
 	}
 	return nil, fmt.Errorf("bicc: unknown algorithm %v", algo)
 }
 
-// newResult converts a core result into the public shape.
+// newResult converts a core result into the public shape and, when
+// observability is on, feeds the per-phase histograms on the process-wide
+// registry.
 func newResult(res *core.Result, algo Algorithm, el *graph.EdgeList) *Result {
 	out := &Result{
 		NumComponents: res.NumComp,
@@ -339,8 +368,12 @@ func newResult(res *core.Result, algo Algorithm, el *graph.EdgeList) *Result {
 		Algorithm:     algo,
 		g:             el,
 	}
+	obsOn := obs.Enabled()
 	for _, ph := range res.Phases {
 		out.Phases = append(out.Phases, PhaseTiming{Name: ph.Name, Duration: ph.Duration})
+		if obsOn {
+			phaseSeconds.With(algo.String(), ph.Name).Observe(ph.Duration)
+		}
 	}
 	return out
 }

@@ -8,6 +8,7 @@
 //	     [-max-graph-bytes B] [-timeout D] [-allow-local-files]
 //	     [-load name=path ...] [-drain-timeout D] [-attempt-timeout D]
 //	     [-breaker-threshold N] [-breaker-cooldown D] [-no-fallback]
+//	     [-debug-addr :8715]
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new work is rejected with
 // 503 (health and stats stay readable), in-flight requests get
@@ -27,6 +28,14 @@
 //	                         "procs": N, "timeout_ms": T, "include": [...]}
 //	GET    /healthz          liveness
 //	GET    /statsz           cache hit rate, queue depth, latency histograms
+//	GET    /metrics          Prometheus text exposition (engine + service)
+//
+// Appending ?trace=1 to a /v1/bcc query returns the per-phase span breakdown
+// of the computation alongside the result.
+//
+// With -debug-addr set, a second listener serves GET /metrics plus the
+// net/http/pprof handlers under /debug/pprof/ — on a separate address so
+// profiling endpoints are never exposed on the query port.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -45,6 +55,7 @@ import (
 	"time"
 
 	"bicc"
+	"bicc/internal/obs"
 	"bicc/internal/service"
 )
 
@@ -74,9 +85,14 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive engine faults that open an algorithm's circuit breaker (0 = 5)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 15s)")
 	noFallback := flag.Bool("no-fallback", false, "return engine faults as errors instead of degrading to the sequential engine")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this extra address (empty = disabled)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a graph at startup: name=path or just path (repeatable; format by extension)")
 	flag.Parse()
+
+	// The daemon always runs instrumented: the per-site cost is one atomic
+	// load plus a counter add, noise next to any engine run worth serving.
+	obs.SetEnabled(true)
 
 	srv := service.New(service.Config{
 		Workers:          *workers,
@@ -113,6 +129,24 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", srv.MetricsHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("debug endpoints (metrics, pprof) on %s", *debugAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -140,6 +174,9 @@ func main() {
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
 		os.Exit(1)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
 	}
 	snap := srv.Snapshot()
 	log.Printf("served %d queries (hit rate %.0f%%, %d computations), bye",

@@ -19,6 +19,7 @@ import (
 	"bicc/internal/core"
 	"bicc/internal/gen"
 	"bicc/internal/graph"
+	"bicc/internal/obs"
 )
 
 // Instance describes one benchmark input, the paper's random G(n,m) family.
@@ -66,22 +67,38 @@ func log2(x float64) float64 {
 	return l
 }
 
-// Algo is a named biconnected components implementation.
+// Algo is a named biconnected components implementation: a nil Cfg is the
+// sequential baseline, otherwise the TV pipeline described by Cfg.
 type Algo struct {
 	Name string
-	Run  func(p int, g *graph.EdgeList) (*core.Result, error)
+	Cfg  *core.Config
 }
 
 // Algos returns the paper's four implementations in presentation order.
 func Algos() []Algo {
+	smp, opt, fil := core.TVSMPConfig(), core.TVOptConfig(), core.TVFilterConfig()
 	return []Algo{
-		{"sequential", func(p int, g *graph.EdgeList) (*core.Result, error) {
-			return core.Sequential(g), nil
-		}},
-		{"tv-smp", core.TVSMP},
-		{"tv-opt", core.TVOpt},
-		{"tv-filter", core.TVFilter},
+		{"sequential", nil},
+		{"tv-smp", &smp},
+		{"tv-opt", &opt},
+		{"tv-filter", &fil},
 	}
+}
+
+// Run executes the algorithm on g with p workers.
+func (a Algo) Run(p int, g *graph.EdgeList) (*core.Result, error) {
+	return a.RunSpan(p, g, nil)
+}
+
+// RunSpan is Run with every pipeline phase mirrored as a completed child
+// span of sp, the instrumentation the breakdown harness reads.
+func (a Algo) RunSpan(p int, g *graph.EdgeList, sp *obs.Span) (*core.Result, error) {
+	if a.Cfg == nil {
+		return core.SequentialT(nil, sp, g)
+	}
+	cfg := *a.Cfg
+	cfg.Span = sp
+	return core.Custom(p, g, cfg)
 }
 
 // Measurement is one timed algorithm execution.
@@ -91,6 +108,10 @@ type Measurement struct {
 	Procs    int
 	Time     time.Duration
 	Result   *core.Result
+	// Phases is the per-step breakdown of the median repetition, sourced
+	// from the run's obs trace spans — the same spans a bccd ?trace=1 query
+	// returns, so CLI breakdowns and server traces can never disagree.
+	Phases []core.Phase
 }
 
 // Speedup returns the sequential-time / parallel-time ratio against base.
@@ -101,29 +122,71 @@ func (m Measurement) Speedup(base time.Duration) float64 {
 	return float64(base) / float64(m.Time)
 }
 
+// PhaseDuration returns the total span time recorded under name.
+func (m Measurement) PhaseDuration(name string) time.Duration {
+	var d time.Duration
+	for _, ph := range m.Phases {
+		if ph.Name == name {
+			d += ph.Duration
+		}
+	}
+	return d
+}
+
+// PhaseTotal returns the sum of all phase span durations.
+func (m Measurement) PhaseTotal() time.Duration {
+	var d time.Duration
+	for _, ph := range m.Phases {
+		d += ph.Duration
+	}
+	return d
+}
+
 // Run executes algo on g with p workers reps times and returns the median
 // measurement (the paper reports steady-state times; median suppresses GC
-// and scheduler noise).
+// and scheduler noise). Each repetition runs under its own obs trace; the
+// median repetition's phase spans become Measurement.Phases.
 func Run(in Instance, g *graph.EdgeList, algo Algo, p, reps int) (Measurement, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	times := make([]time.Duration, 0, reps)
+	type rep struct {
+		t      time.Duration
+		phases []core.Phase
+	}
+	runs := make([]rep, 0, reps)
 	var last *core.Result
 	for r := 0; r < reps; r++ {
+		tr := obs.NewTrace()
+		root := tr.Root(algo.Name)
 		start := time.Now()
-		res, err := algo.Run(p, g)
+		res, err := algo.RunSpan(p, g, root)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("%s p=%d: %w", algo.Name, p, err)
 		}
-		times = append(times, time.Since(start))
+		elapsed := time.Since(start)
+		root.End()
+		runs = append(runs, rep{t: elapsed, phases: phasesFromTrace(tr.Export(), root.ID())})
 		last = res
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	sort.Slice(runs, func(i, j int) bool { return runs[i].t < runs[j].t })
+	mid := runs[len(runs)/2]
 	return Measurement{
 		Instance: in, Algo: algo.Name, Procs: p,
-		Time: times[len(times)/2], Result: last,
+		Time: mid.t, Result: last, Phases: mid.phases,
 	}, nil
+}
+
+// phasesFromTrace extracts the phase children of the root span, in start
+// order (Export's ordering).
+func phasesFromTrace(e *obs.TraceExport, rootID int) []core.Phase {
+	var out []core.Phase
+	for _, s := range e.Spans {
+		if s.Parent == rootID {
+			out = append(out, core.Phase{Name: s.Name, Duration: time.Duration(s.DurationNs)})
+		}
+	}
+	return out
 }
 
 // Fig3 regenerates the paper's Figure 3: for every instance and processor
@@ -161,9 +224,10 @@ func Fig3(w io.Writer, instances []Instance, procs []int, reps int) ([]Measureme
 }
 
 // Fig4 regenerates the paper's Figure 4: the per-step breakdown of TV-SMP,
-// TV-opt and TV-filter at p processors across the instances. Steps follow
-// the paper's naming: Spanning-tree, Euler-tour, root, Low-high,
-// Label-edge, Connected-components, Filtering.
+// TV-opt and TV-filter at p processors across the instances, sourced from
+// the runs' obs trace spans. Steps follow the paper's naming:
+// Spanning-tree, Euler-tour, root, Low-high, Label-edge,
+// Connected-components, Filtering.
 func Fig4(w io.Writer, instances []Instance, p, reps int) ([]Measurement, error) {
 	var all []Measurement
 	fmt.Fprintf(w, "# Fig. 4 — per-step breakdown at p=%d\n", p)
@@ -182,9 +246,9 @@ func Fig4(w io.Writer, instances []Instance, p, reps int) ([]Measurement, error)
 			all = append(all, m)
 			fmt.Fprintf(w, "%-10s %-12s", in.Name, m.Algo)
 			for _, ph := range core.PhaseOrder {
-				fmt.Fprintf(w, " %14v", m.Result.PhaseDuration(ph).Round(time.Microsecond))
+				fmt.Fprintf(w, " %14v", m.PhaseDuration(ph).Round(time.Microsecond))
 			}
-			fmt.Fprintf(w, " %14v\n", m.Result.Total().Round(time.Microsecond))
+			fmt.Fprintf(w, " %14v\n", m.PhaseTotal().Round(time.Microsecond))
 		}
 	}
 	return all, nil

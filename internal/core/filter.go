@@ -19,12 +19,19 @@ import (
 // max(m − 2(n−1), 0) edges, which shrinks the Low-high, Label-edge and
 // Connected-components steps — the Fig. 3/4 win.
 func TVFilter(p int, g *graph.EdgeList) (*Result, error) {
-	return Custom(p, g, Config{SpanningTree: SpanBFS, Filter: true})
+	return Custom(p, g, TVFilterConfig())
+}
+
+// TVFilterConfig returns the Config preset for TV-filter.
+func TVFilterConfig() Config {
+	return Config{SpanningTree: SpanBFS, Filter: true}
 }
 
 // TVFilterC is TVFilter with cooperative cancellation.
 func TVFilterC(c *par.Canceler, p int, g *graph.EdgeList) (*Result, error) {
-	return Custom(p, g, Config{SpanningTree: SpanBFS, Filter: true, Cancel: c})
+	cfg := TVFilterConfig()
+	cfg.Cancel = c
+	return Custom(p, g, cfg)
 }
 
 // FilteredEdgeCount reports how many edges TV-filter is guaranteed to

@@ -6,6 +6,7 @@ import (
 	"bicc/internal/eulertour"
 	"bicc/internal/faults"
 	"bicc/internal/graph"
+	"bicc/internal/obs"
 	"bicc/internal/par"
 	"bicc/internal/prefix"
 	"bicc/internal/spantree"
@@ -66,6 +67,10 @@ type Config struct {
 	// between pipeline phases; tripping it makes Custom return the
 	// cancellation cause promptly instead of finishing the run.
 	Cancel *par.Canceler
+	// Span, when non-nil, receives one completed child span per pipeline
+	// phase (the same laps that populate Result.Phases), wiring the run
+	// into a caller's obs trace. Nil costs nothing.
+	Span *obs.Span
 	// Filter enables the §4 edge filtering. It requires SpanBFS: the
 	// correctness lemmas (Lemma 1/2, Theorem 2) hold only for BFS trees.
 	Filter bool
@@ -94,7 +99,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
 	}
 	p = par.Procs(p)
 	faults.Inject(cfg.Cancel, siteEntry, 0, int(cfg.SpanningTree))
-	sw := newStopwatch()
+	sw := newStopwatchSpan(cfg.Span)
 	// Step 1 (+3 for rooted variants): spanning tree.
 	var (
 		td         *treecomp.TreeData

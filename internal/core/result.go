@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bicc/internal/graph"
+	"bicc/internal/obs"
 	"bicc/internal/par"
 	"bicc/internal/prefix"
 )
@@ -69,18 +70,29 @@ func (r *Result) Total() time.Duration {
 	return d
 }
 
-// stopwatch accumulates named phases.
+// stopwatch accumulates named phases. When constructed with a span it also
+// emits every lap as a completed child span, so the Result.Phases breakdown
+// and an attached obs trace are two views of the same measurements and can
+// never disagree.
 type stopwatch struct {
 	phases []Phase
 	last   time.Time
+	span   *obs.Span
 }
 
 func newStopwatch() *stopwatch { return &stopwatch{last: time.Now()} }
+
+// newStopwatchSpan returns a stopwatch whose laps are mirrored as child
+// spans of sp (a nil sp records no spans).
+func newStopwatchSpan(sp *obs.Span) *stopwatch {
+	return &stopwatch{last: time.Now(), span: sp}
+}
 
 // lap records the time since the previous lap (or construction) under name.
 func (s *stopwatch) lap(name string) {
 	now := time.Now()
 	s.phases = append(s.phases, Phase{Name: name, Duration: now.Sub(s.last)})
+	s.span.ChildInterval(name, s.last, now)
 	s.last = now
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"bicc/internal/faults"
 	"bicc/internal/graph"
+	"bicc/internal/obs"
 	"bicc/internal/par"
 )
 
@@ -26,14 +27,21 @@ func Sequential(g *graph.EdgeList) *Result {
 // thousand DFS steps; it returns the cancellation cause when c trips
 // mid-run. Like Custom it is a fault boundary: panics are recovered and
 // returned as *par.PanicError.
-func SequentialC(cn *par.Canceler, g *graph.EdgeList) (res *Result, err error) {
+func SequentialC(cn *par.Canceler, g *graph.EdgeList) (*Result, error) {
+	return SequentialT(cn, nil, g)
+}
+
+// SequentialT is SequentialC with the run's single timed phase mirrored as
+// a child span of sp (nil sp records nothing), matching Custom's per-phase
+// span emission.
+func SequentialT(cn *par.Canceler, sp *obs.Span, g *graph.EdgeList) (res *Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res, err = nil, par.AsPanicError(-1, v)
 		}
 	}()
 	faults.Inject(cn, siteSeq, 0, 0)
-	sw := newStopwatch()
+	sw := newStopwatchSpan(sp)
 	c := graph.ToCSR(1, g)
 	n := int(g.N)
 	m := len(g.Edges)

@@ -19,12 +19,20 @@ import (
 // It is the baseline whose parallel overheads the paper measures: the sort
 // in step 2 and the list ranking in step 3 are the costs TV-opt removes.
 func TVSMP(p int, g *graph.EdgeList) (*Result, error) {
-	return Custom(p, g, Config{SpanningTree: SpanSV, Ranker: RankHelmanJaja})
+	return Custom(p, g, TVSMPConfig())
+}
+
+// TVSMPConfig returns the Config preset for TV-SMP; callers add their own
+// Cancel/Span before passing it to Custom.
+func TVSMPConfig() Config {
+	return Config{SpanningTree: SpanSV, Ranker: RankHelmanJaja}
 }
 
 // TVSMPC is TVSMP with cooperative cancellation.
 func TVSMPC(c *par.Canceler, p int, g *graph.EdgeList) (*Result, error) {
-	return Custom(p, g, Config{SpanningTree: SpanSV, Ranker: RankHelmanJaja, Cancel: c})
+	cfg := TVSMPConfig()
+	cfg.Cancel = c
+	return Custom(p, g, cfg)
 }
 
 // TVSMPWyllie is TVSMP with Wyllie pointer jumping instead of Helman–JáJá
@@ -39,12 +47,19 @@ func TVSMPWyllie(p int, g *graph.EdgeList) (*Result, error) {
 // and the tree computations use prefix sums over arrays instead of list
 // ranking. Steps 4–6 are shared with TV-SMP.
 func TVOpt(p int, g *graph.EdgeList) (*Result, error) {
-	return Custom(p, g, Config{SpanningTree: SpanWorkStealing})
+	return Custom(p, g, TVOptConfig())
+}
+
+// TVOptConfig returns the Config preset for TV-opt.
+func TVOptConfig() Config {
+	return Config{SpanningTree: SpanWorkStealing}
 }
 
 // TVOptC is TVOpt with cooperative cancellation.
 func TVOptC(c *par.Canceler, p int, g *graph.EdgeList) (*Result, error) {
-	return Custom(p, g, Config{SpanningTree: SpanWorkStealing, Cancel: c})
+	cfg := TVOptConfig()
+	cfg.Cancel = c
+	return Custom(p, g, cfg)
 }
 
 // rootsFromLabels extracts one representative vertex per component from the

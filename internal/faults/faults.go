@@ -27,7 +27,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bicc/internal/obs"
 	"bicc/internal/par"
+)
+
+// Injection counters on the process-wide registry, one per fault kind.
+// They count unconditionally when a rule fires (firing is already the rare
+// path), so a BICC_FAULTS chaos run shows its injections on /metrics
+// without needing the obs hot-path gate.
+var (
+	mInjected = obs.Default().CounterVec("bicc_fault_injections_total",
+		"Faults injected by the deterministic injection framework, by kind.", "kind")
+	mInjPanic  = mInjected.With(KindPanic.String())
+	mInjDelay  = mInjected.With(KindDelay.String())
+	mInjCancel = mInjected.With(KindCancel.String())
 )
 
 // Kind is the effect a rule injects at a matching site.
@@ -186,8 +199,10 @@ func (p *Plan) fire(c *par.Canceler, site string, worker, iter int) {
 		}
 		switch r.Kind {
 		case KindPanic:
+			mInjPanic.Inc()
 			panic(&InjectedPanic{Site: site, Worker: worker, Iter: iter})
 		case KindDelay:
+			mInjDelay.Inc()
 			d := r.Delay
 			if d <= 0 {
 				d = time.Millisecond
@@ -195,6 +210,7 @@ func (p *Plan) fire(c *par.Canceler, site string, worker, iter int) {
 			time.Sleep(d)
 		case KindCancel:
 			if c != nil {
+				mInjCancel.Inc()
 				c.Cancel(fmt.Errorf("%w at %s (worker %d, iter %d)", ErrInjected, site, worker, iter))
 			}
 		}

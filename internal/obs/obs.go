@@ -1,0 +1,39 @@
+// Package obs is the unified observability layer: a process-wide metrics
+// registry (atomic counters, callback gauges, power-of-two latency
+// histograms), Prometheus text-format exposition, and a lightweight span
+// tracer for per-request phase breakdowns.
+//
+// The package turns the paper's offline measurement method — per-phase
+// timing of the TV pipeline (spanning tree, Euler tour, root/list ranking,
+// low-high, label-edge, connected components) — into live, scrapeable
+// telemetry: the engines emit one span per pipeline phase, the parallel
+// runtime exports worker-pool counters, and bccd serves everything on
+// /metrics and echoes per-request traces with ?trace=1.
+//
+// Instrumentation cost is a design constraint: hot-path sites (the parallel
+// runtime's loop and steal counters) are guarded by Enabled(), a single
+// atomic load when observability is off, so benchmarks measuring the paper's
+// speedups are unaffected. The gate is off by default; long-lived servers
+// (cmd/bccd) switch it on at startup. Span recording needs no gate: spans
+// exist only when a caller attached a Trace to its context, and a nil *Span
+// is a no-op everywhere.
+//
+// obs depends only on the standard library, so every other package in the
+// repository — including internal/par at the very bottom of the stack — can
+// import it without cycles.
+package obs
+
+import "sync/atomic"
+
+// enabled gates the hot-path instrumentation sites. Off by default: library
+// users and benchmarks pay one atomic load per site and nothing else.
+var enabled atomic.Bool
+
+// Enabled reports whether hot-path instrumentation is switched on. The
+// check compiles to a single atomic load; instrumentation sites call it
+// before touching any counter.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled switches hot-path instrumentation on or off process-wide.
+// cmd/bccd enables it at startup; benchmarks leave it off.
+func SetEnabled(v bool) { enabled.Store(v) }

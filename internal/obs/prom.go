@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registries in Prometheus text exposition
+// format (version 0.0.4). Families are merged across registries and sorted
+// by name; children are sorted by label values, so the output is
+// deterministic for a fixed metric state. Histograms are rendered as
+// cumulative _bucket series with an le label (upper bucket edges in
+// seconds), plus _sum and _count. Bucket counts and _count are derived from
+// one snapshot of the bucket array, so the cumulative invariant
+// (non-decreasing buckets, +Inf bucket == _count) holds in every scrape even
+// while Observe calls race with it.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	bw := bufio.NewWriter(w)
+	seen := map[string]bool{}
+	for _, r := range regs {
+		for _, f := range r.sortedFamilies() {
+			// The same family name in a later registry is skipped: engine
+			// metrics live in Default, component metrics in private
+			// registries, and a name collision across them is a bug caught by
+			// the registries' own mismatch panics when it matters.
+			if seen[f.name] {
+				continue
+			}
+			seen[f.name] = true
+			writeFamily(bw, f)
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registries' metrics over HTTP — mount it on /metrics.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, regs...)
+	})
+}
+
+func writeFamily(w *bufio.Writer, f *family) {
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(string(f.typ))
+	w.WriteByte('\n')
+	for _, ch := range f.sortedChildren() {
+		switch f.typ {
+		case TypeCounter:
+			v := int64(0)
+			if ch.c != nil {
+				v = ch.c.Load()
+			} else if ch.cf != nil {
+				v = ch.cf()
+			}
+			writeSample(w, f.name, "", f.labels, ch.values, "", strconv.FormatInt(v, 10))
+		case TypeGauge:
+			v := 0.0
+			if ch.gf != nil {
+				v = ch.gf()
+			}
+			writeSample(w, f.name, "", f.labels, ch.values, "", formatFloat(v))
+		case TypeHistogram:
+			writeHistogram(w, f, ch)
+		}
+	}
+}
+
+// writeHistogram renders one histogram series. The power-of-two microsecond
+// buckets map to le edges of 2^k µs (in seconds): bucket k holds
+// observations in [2^(k-1), 2^k) µs, so the cumulative count through bucket
+// k is the count of observations below 2^k µs. The open last bucket folds
+// into +Inf.
+func writeHistogram(w *bufio.Writer, f *family, ch *child) {
+	var b [histBuckets]int64
+	sumNs := ch.h.sumNs.Load()
+	total := int64(0)
+	for k := range b {
+		b[k] = ch.h.buckets[k].Load()
+		total += b[k]
+	}
+	cum := int64(0)
+	for k := 0; k < histBuckets-1; k++ {
+		cum += b[k]
+		le := formatFloat(math.Ldexp(1, k) / 1e6) // 2^k µs in seconds
+		writeSample(w, f.name, "_bucket", f.labels, ch.values, le, strconv.FormatInt(cum, 10))
+	}
+	writeSample(w, f.name, "_bucket", f.labels, ch.values, "+Inf", strconv.FormatInt(total, 10))
+	writeSample(w, f.name, "_sum", f.labels, ch.values, "", formatFloat(float64(sumNs)/1e9))
+	writeSample(w, f.name, "_count", f.labels, ch.values, "", strconv.FormatInt(total, 10))
+}
+
+// writeSample writes one exposition line: name+suffix, the label set (plus
+// an le label when non-empty), and the value.
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, le, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline, the two characters the text
+// format reserves in HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, newline, and double quote for quoted label
+// values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with every metric shape the exposition
+// supports, including label values that need escaping.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "Requests received.").Add(42)
+	v := r.CounterVec("demo_tasks_total", `Tasks by kind; help with \ backslash
+and a newline.`, "kind", "status")
+	v.With("steal", "ok").Add(7)
+	v.With("run", "err\nor").Inc()
+	v.With(`back\slash`, `quo"te`).Add(3)
+	v.Func(func() int64 { return 9 }, "callback", "ok")
+	r.GaugeFunc("demo_depth", "Current queue depth.", func() float64 { return 3.5 })
+	h := r.Histogram("demo_seconds", "Latency.")
+	h.Observe(500 * time.Nanosecond)
+	h.Observe(time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	hv := r.HistogramVec("demo_phase_seconds", "Per-phase latency.", "phase")
+	hv.With("spanning-tree").Observe(2 * time.Millisecond)
+	hv.With("euler-tour").Observe(250 * time.Microsecond)
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/metrics.golden"
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s (rerun with -update after intentional changes)\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+	checkExposition(t, buf.String())
+}
+
+func TestHandlerContentType(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(goldenRegistry()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if rec.Body.Len() == 0 {
+		t.Error("empty body")
+	}
+}
+
+func TestMergedRegistriesFirstWins(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("dup_total", "from a").Add(1)
+	b.Counter("dup_total", "from b").Add(100)
+	b.Counter("only_b_total", "b").Add(5)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dup_total 1\n") {
+		t.Errorf("first registry's dup_total not exposed:\n%s", out)
+	}
+	if strings.Contains(out, "dup_total 100") {
+		t.Errorf("second registry's duplicate family leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "only_b_total 5\n") {
+		t.Errorf("second registry's unique family missing:\n%s", out)
+	}
+}
+
+// TestConcurrentObserveScrape races Observe against scrapes and checks the
+// histogram's cumulative invariants on every scrape. Run with -race.
+func TestConcurrentObserveScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("race_seconds", "h", "algorithm")
+	c := r.Counter("race_total", "c")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hist := h.With("tv-opt")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hist.Observe(time.Duration(i%5000) * time.Microsecond)
+				c.Inc()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		checkExposition(t, buf.String())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// checkExposition parses a text exposition and asserts the structural
+// invariants scrapers rely on: every sample line parses, bucket series are
+// cumulative and non-decreasing in le order, and the +Inf bucket equals
+// _count for the same series.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	type series struct {
+		lastLe  float64
+		lastCum int64
+		inf     int64
+		hasInf  bool
+	}
+	buckets := map[string]*series{}
+	counts := map[string]int64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable line %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		switch {
+		case strings.Contains(name, "_bucket"):
+			le := ""
+			if i := strings.Index(name, `le="`); i >= 0 {
+				rest := name[i+4:]
+				le = rest[:strings.IndexByte(rest, '"')]
+			} else {
+				t.Fatalf("bucket line without le: %q", line)
+			}
+			// Series key: the line minus its le label and value, normalized
+			// to match the matching _count line.
+			key := strings.Replace(name, `,le="`+le+`"`, "", 1)
+			key = strings.Replace(key, `le="`+le+`"`, "", 1)
+			key = strings.Replace(key, "_bucket", "", 1)
+			key = strings.TrimSuffix(key, "{}")
+			s := buckets[key]
+			if s == nil {
+				s = &series{lastLe: math.Inf(-1), lastCum: -1}
+				buckets[key] = s
+			}
+			cum, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if le == "+Inf" {
+				s.inf, s.hasInf = cum, true
+				if cum < s.lastCum {
+					t.Fatalf("+Inf bucket %d below previous cumulative %d in %q", cum, s.lastCum, line)
+				}
+				continue
+			}
+			edge, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("le in %q: %v", line, err)
+			}
+			if edge <= s.lastLe {
+				t.Fatalf("le %g not increasing (prev %g) in %q", edge, s.lastLe, line)
+			}
+			if cum < s.lastCum {
+				t.Fatalf("cumulative count %d decreased (prev %d) in %q", cum, s.lastCum, line)
+			}
+			s.lastLe, s.lastCum = edge, cum
+		case strings.Contains(name, "_count"):
+			key := strings.Replace(name, "_count", "", 1)
+			n, _ := strconv.ParseInt(valStr, 10, 64)
+			counts[key] = n
+		}
+	}
+	for key, s := range buckets {
+		if !s.hasInf {
+			t.Fatalf("series %q has no +Inf bucket", key)
+		}
+		n, ok := counts[key]
+		if !ok {
+			t.Fatalf("series %q has buckets but no _count", key)
+		}
+		if s.inf != n {
+			t.Fatalf("series %q: +Inf bucket %d != _count %d", key, s.inf, n)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "line1\nline2 \\ done", "v").With("a\\b\"c\nd").Add(1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP esc_total line1\nline2 \\ done`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{v="a\\b\"c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("Load = %d, want 5", got)
+	}
+	// Re-registration returns the same counter.
+	if again := r.Counter("t_total", "help"); again != c {
+		t.Fatal("re-registered counter is a different instance")
+	}
+}
+
+func TestVecChildrenAreStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("t_total", "help", "kind")
+	a := v.With("a")
+	if v.With("a") != a {
+		t.Fatal("same label values yielded a different counter")
+	}
+	if v.With("b") == a {
+		t.Fatal("different label values yielded the same counter")
+	}
+	// Label values that would collide under naive concatenation must not:
+	// ("ab", "c") vs ("a", "bc").
+	h := r.HistogramVec("t_seconds", "help", "x", "y")
+	h1 := h.With("ab", "c")
+	h2 := h.With("a", "bc")
+	if h1 == h2 {
+		t.Fatal(`("ab","c") and ("a","bc") resolved to the same series`)
+	}
+}
+
+func TestMismatchedReregistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_total", "help")
+	for name, fn := range map[string]func(){
+		"type":   func() { r.Histogram("t_total", "help") },
+		"labels": func() { r.CounterVec("t_total", "help", "kind") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWrongLabelCountPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("t_total", "help", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label value count did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestEnabledGate(t *testing.T) {
+	old := Enabled()
+	defer SetEnabled(old)
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("Enabled() true after SetEnabled(false)")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("Enabled() false after SetEnabled(true)")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // bucket 0 (sub-µs)
+	h.Observe(time.Microsecond)      // bucket 1
+	h.Observe(3 * time.Microsecond)  // bucket 2
+	h.Observe(3 * time.Microsecond)  // bucket 2
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	wantBuckets := []int64{1, 1, 2}
+	if len(s.BucketsUs) != len(wantBuckets) {
+		t.Fatalf("BucketsUs = %v, want %v", s.BucketsUs, wantBuckets)
+	}
+	for i, w := range wantBuckets {
+		if s.BucketsUs[i] != w {
+			t.Fatalf("BucketsUs = %v, want %v", s.BucketsUs, wantBuckets)
+		}
+	}
+	// The 2nd of 4 samples lands in bucket 1 (upper edge 2µs); the 4th in
+	// bucket 2 (upper edge 4µs).
+	if s.P50Ns != 2000 || s.P99Ns != 4000 {
+		t.Errorf("P50 = %d, P99 = %d, want 2000 and 4000", s.P50Ns, s.P99Ns)
+	}
+	wantMean := (int64(500) + 1000 + 3000 + 3000) / 4
+	if s.MeanN != wantMean {
+		t.Errorf("MeanN = %d, want %d", s.MeanN, wantMean)
+	}
+}

@@ -1,6 +1,10 @@
 package par
 
-import "sync"
+import (
+	"sync"
+
+	"bicc/internal/obs"
+)
 
 // Deque is a work-stealing deque of int32 work items (vertex ids in the
 // Bader–Cong spanning-tree traversal). The owner pushes and pops at the
@@ -66,6 +70,9 @@ func (d *Deque) StealHalf(buf []int32) []int32 {
 	copy(d.items, d.items[k:])
 	d.items = d.items[:n-k]
 	d.mu.Unlock()
+	if obs.Enabled() {
+		mSteals.Inc()
+	}
 	return buf
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
+
+	"bicc/internal/obs"
 )
 
 // PanicError wraps a panic recovered from a parallel worker goroutine. The
@@ -46,7 +48,10 @@ func (e *PanicError) Unwrap() error {
 // original stack and worker id).
 func AsPanicError(worker int, v any) *PanicError {
 	if pe, ok := v.(*PanicError); ok {
-		return pe
+		return pe // a re-raised panic keeps its identity and is not recounted
+	}
+	if obs.Enabled() {
+		mPanics.Inc()
 	}
 	return &PanicError{Value: v, Worker: worker, Stack: debug.Stack()}
 }

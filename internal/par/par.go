@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bicc/internal/obs"
 )
 
 // Procs returns the effective processor count for a requested value.
@@ -58,11 +60,17 @@ func For(p, n int, body func(lo, hi int)) {
 		return
 	}
 	if p == 1 || n == 1 {
+		if obs.Enabled() {
+			mTasks.Inc()
+		}
 		body(0, n)
 		return
 	}
 	if p > n {
 		p = n
+	}
+	if obs.Enabled() {
+		mTasks.Add(int64(p))
 	}
 	var pb panicBox
 	var wg sync.WaitGroup
@@ -87,11 +95,17 @@ func ForWorker(p, n int, body func(worker, lo, hi int)) {
 		return
 	}
 	if p == 1 || n == 1 {
+		if obs.Enabled() {
+			mTasks.Inc()
+		}
 		body(0, 0, n)
 		return
 	}
 	if p > n {
 		p = n
+	}
+	if obs.Enabled() {
+		mTasks.Add(int64(p))
 	}
 	var pb panicBox
 	var wg sync.WaitGroup
@@ -122,8 +136,15 @@ func ForDynamic(p, n, grain int, body func(lo, hi int)) {
 		grain = n/(8*p) + 1
 	}
 	if p == 1 || n <= grain {
+		if obs.Enabled() {
+			mTasks.Inc()
+			mChunks.Inc()
+		}
 		body(0, n)
 		return
+	}
+	if obs.Enabled() {
+		mTasks.Add(int64(p))
 	}
 	var pb panicBox
 	var next atomic.Int64
@@ -140,6 +161,9 @@ func ForDynamic(p, n, grain int, body func(lo, hi int)) {
 				lo := int(next.Add(int64(grain))) - grain
 				if lo >= n {
 					return
+				}
+				if obs.Enabled() {
+					mChunks.Inc()
 				}
 				hi := lo + grain
 				if hi > n {
@@ -162,6 +186,9 @@ func ForDynamic(p, n, grain int, body func(lo, hi int)) {
 // for a worker that will never arrive.
 func Run(p int, fn func(worker int)) {
 	p = Procs(p)
+	if obs.Enabled() {
+		mTasks.Add(int64(p))
+	}
 	if p == 1 {
 		fn(0)
 		return
@@ -204,6 +231,9 @@ func NewBarrier(parties int) *Barrier {
 // Wait blocks until all parties have called Wait, then releases them all.
 // The barrier is immediately reusable for the next phase.
 func (b *Barrier) Wait() {
+	if obs.Enabled() {
+		mBarrierWaits.Inc()
+	}
 	b.mu.Lock()
 	phase := b.phase
 	b.count++

@@ -44,6 +44,7 @@ import (
 
 	"bicc"
 	"bicc/internal/graph"
+	"bicc/internal/obs"
 	"bicc/internal/par"
 )
 
@@ -136,7 +137,12 @@ type Server struct {
 	registry  *Registry
 	cache     *ResultCache
 	admission *Admission
-	stats     Stats
+	// metrics is the server's private obs registry; server-scoped counters
+	// live here (not on obs.Default) so concurrently-constructed servers —
+	// one per test, say — never share instruments. /metrics merges it with
+	// the process-wide registry.
+	metrics *obs.Registry
+	stats   Stats
 	// breakers guard the parallel algorithms (and auto, which resolves to
 	// one of them); the sequential engine has none — it is the path of last
 	// resort.
@@ -152,16 +158,59 @@ func New(cfg Config) *Server {
 		registry:  NewRegistry(cfg.MaxGraphBytes),
 		cache:     NewResultCache(cfg.CacheEntries),
 		admission: NewAdmission(cfg.Workers, cfg.Queue),
+		metrics:   obs.NewRegistry(),
 		breakers:  map[string]*Breaker{},
 	}
-	s.stats.perAlgorithm = map[string]*Histogram{}
-	for _, a := range []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
-		s.stats.perAlgorithm[a.String()] = &Histogram{}
-	}
+	s.stats = newStats(s.metrics)
 	for _, a := range []bicc.Algorithm{bicc.Auto, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
 		s.breakers[a.String()] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
+	s.registerLiveMetrics()
 	return s
+}
+
+// registerLiveMetrics exposes state other components already maintain —
+// registry occupancy, admission load, breaker status — as callback-backed
+// series sampled at scrape time, so /metrics and /statsz can never drift
+// apart.
+func (s *Server) registerLiveMetrics() {
+	reg := s.metrics
+	reg.CounterVec("bicc_graphs_evicted_total",
+		"Graphs evicted from the registry to meet the byte budget.").Func(s.registry.Evicted)
+	reg.GaugeFunc("bicc_queue_depth",
+		"Computations waiting for an admission worker.",
+		func() float64 { return float64(s.admission.QueueDepth()) })
+	reg.GaugeFunc("bicc_inflight",
+		"Computations currently holding an admission worker.",
+		func() float64 { return float64(s.admission.Inflight()) })
+	reg.GaugeFunc("bicc_cached_results",
+		"Completed query results retained by the cache.",
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("bicc_graphs",
+		"Graphs resident in the registry.",
+		func() float64 { return float64(s.registry.Len()) })
+	reg.GaugeFunc("bicc_graph_bytes",
+		"Bytes of graph data resident in the registry.",
+		func() float64 { return float64(s.registry.Bytes()) })
+	opens := reg.CounterVec("bicc_breaker_opens_total",
+		"Times an algorithm's circuit breaker has opened.", "algorithm")
+	state := reg.GaugeVec("bicc_breaker_state",
+		"Circuit breaker state by algorithm: 0 closed, 1 open, 2 half-open.", "algorithm")
+	for name, b := range s.breakers {
+		opens.Func(b.Opens, name)
+		state.Func(func() float64 { return float64(b.State()) }, name)
+	}
+}
+
+// Metrics returns the server's private obs registry, for embedders that
+// compose their own exposition handler.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// MetricsHandler serves the Prometheus text exposition of the process-wide
+// registry (engine, parallel runtime, and fault-injection metrics) merged
+// with this server's request metrics.
+func (s *Server) MetricsHandler() http.Handler {
+	return obs.Handler(obs.Default(), s.metrics)
 }
 
 // Registry exposes the graph registry (the daemon preloads graphs through
@@ -174,6 +223,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	mux.HandleFunc("POST /v1/graphs/open", s.handleOpen)
 	mux.HandleFunc("GET /v1/graphs", s.handleList)
@@ -396,6 +446,10 @@ type queryResult struct {
 	// engine. Degraded results are correct but are never cached.
 	Degraded      bool   `json:"degraded,omitempty"`
 	DegradedCause string `json:"degraded_cause,omitempty"`
+	// Trace is the span breakdown of the computation that produced this
+	// result (admission wait, engine attempts, pipeline phases). It rides
+	// the cache entry but is only serialized for requests asking ?trace=1.
+	Trace *obs.TraceExport `json:"trace,omitempty"`
 }
 
 type blockCutJSON struct {
@@ -483,7 +537,12 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, bccResponse{queryResult: *res, Graph: req.Graph, Cached: outcome == OutcomeHit})
+	resp := bccResponse{queryResult: *res, Graph: req.Graph, Cached: outcome == OutcomeHit}
+	if q := r.URL.Query().Get("trace"); q != "1" && q != "true" {
+		// The copy above leaves the cached entry's trace intact.
+		resp.Trace = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // compute admits and runs one engine computation, then derives every
@@ -492,7 +551,16 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 // path may be used at all, the engine runs under the sequential-fallback
 // policy, and outcomes feed the breaker and the fault counters.
 func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm, procs int, include map[string]bool) (*queryResult, error) {
+	// Every computation is traced: admission wait, each engine attempt, and
+	// the pipeline phases inside it. The trace rides the cached result and
+	// is serialized only for ?trace=1 requests.
+	tr := obs.NewTrace()
+	ctx, root := obs.StartSpan(obs.ContextWithTrace(ctx, tr), "bcc")
+	defer root.End()
+
+	adm := root.Child("admission")
 	release, err := s.admission.Acquire(ctx)
+	adm.End()
 	if err != nil {
 		return nil, err
 	}
@@ -588,6 +656,12 @@ func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm
 			out.DegradedCause = routedCause
 		}
 	}
+	root.SetLabel("algorithm", res.Algorithm.String())
+	if out.Degraded {
+		root.SetLabel("degraded", "true")
+	}
+	root.End()
+	out.Trace = tr.Export()
 	return out, nil
 }
 

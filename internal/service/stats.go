@@ -1,116 +1,63 @@
 package service
 
 import (
-	"math"
-	"math/bits"
-	"sync/atomic"
-	"time"
+	"bicc"
+	"bicc/internal/obs"
 )
 
-// histBuckets is the number of power-of-two latency buckets: bucket k counts
-// observations in [2^k, 2^(k+1)) microseconds, with the last bucket open
-// above. 32 buckets span 1 µs to over an hour.
-const histBuckets = 32
-
-// Histogram is a lock-free latency histogram with power-of-two microsecond
-// buckets, cheap enough to sit on every request path.
-type Histogram struct {
-	count   atomic.Int64
-	sumNs   atomic.Int64
-	buckets [histBuckets]atomic.Int64
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	k := bits.Len64(uint64(us)) // 0µs→0, 1µs→1, [2,4)→2, ...
-	if k >= histBuckets {
-		k = histBuckets - 1
-	}
-	h.count.Add(1)
-	h.sumNs.Add(int64(d))
-	h.buckets[k].Add(1)
-}
+// Histogram is the service's request-latency histogram, now provided by the
+// observability package so /statsz and /metrics report from the same
+// instrument. The JSON shape of snapshots is unchanged.
+type Histogram = obs.Histogram
 
 // HistogramSnapshot is a point-in-time copy of a Histogram, JSON-ready.
-type HistogramSnapshot struct {
-	Count int64 `json:"count"`
-	MeanN int64 `json:"mean_ns"`
-	P50Ns int64 `json:"p50_ns"`
-	P90Ns int64 `json:"p90_ns"`
-	P99Ns int64 `json:"p99_ns"`
-	// BucketsUs[k] counts samples with latency in [2^(k-1), 2^k) µs
-	// (k=0: sub-microsecond). Trailing zero buckets are trimmed.
-	BucketsUs []int64 `json:"buckets_us,omitempty"`
-}
+type HistogramSnapshot = obs.HistogramSnapshot
 
-// Snapshot returns a consistent-enough copy for reporting; concurrent
-// Observe calls may skew individual buckets by a few samples.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	var s HistogramSnapshot
-	s.Count = h.count.Load()
-	if s.Count > 0 {
-		s.MeanN = h.sumNs.Load() / s.Count
-	}
-	var b [histBuckets]int64
-	total := int64(0)
-	last := -1
-	for k := range b {
-		b[k] = h.buckets[k].Load()
-		total += b[k]
-		if b[k] > 0 {
-			last = k
-		}
-	}
-	if last >= 0 {
-		s.BucketsUs = append([]int64(nil), b[:last+1]...)
-	}
-	s.P50Ns = quantile(b[:], total, 0.50)
-	s.P90Ns = quantile(b[:], total, 0.90)
-	s.P99Ns = quantile(b[:], total, 0.99)
-	return s
-}
-
-// quantile returns the upper edge (in ns) of the bucket containing the q-th
-// quantile — a conservative estimate good to a factor of two, which is all a
-// power-of-two histogram can promise.
-func quantile(b []int64, total int64, q float64) int64 {
-	if total == 0 {
-		return 0
-	}
-	target := int64(math.Ceil(q * float64(total)))
-	if target < 1 {
-		target = 1
-	}
-	seen := int64(0)
-	for k, c := range b {
-		seen += c
-		if seen >= target {
-			return int64(1) << uint(k) * 1000 // upper edge: 2^k µs in ns
-		}
-	}
-	return int64(1) << uint(len(b)) * 1000
-}
-
-// Stats aggregates the service counters exposed on /statsz.
+// Stats aggregates the service counters exposed on /statsz. The counters
+// live on the server's private obs registry, so the same instruments back
+// the Prometheus exposition on /metrics; field accessors (Add/Load) are
+// unchanged from the pre-registry atomic.Int64 shape.
 type Stats struct {
-	Requests     atomic.Int64 // BCC queries received
-	CacheHits    atomic.Int64 // served from a completed cache entry
-	CacheMisses  atomic.Int64 // required a new computation
-	Coalesced    atomic.Int64 // joined an in-flight identical computation
-	Rejected     atomic.Int64 // 429s from a full admission queue
-	Canceled     atomic.Int64 // requests that died on context before/while computing
-	Computations atomic.Int64 // engine runs actually started
-	GraphUploads atomic.Int64
+	Requests     *obs.Counter // BCC queries received
+	CacheHits    *obs.Counter // served from a completed cache entry
+	CacheMisses  *obs.Counter // required a new computation
+	Coalesced    *obs.Counter // joined an in-flight identical computation
+	Rejected     *obs.Counter // 429s from a full admission queue
+	Canceled     *obs.Counter // requests that died on context before/while computing
+	Computations *obs.Counter // engine runs actually started
+	GraphUploads *obs.Counter
 	// Fault-isolation counters.
-	EnginePanics  atomic.Int64 // contained engine panics (par.PanicError seen)
-	Fallbacks     atomic.Int64 // results produced by the sequential fallback
-	BreakerRouted atomic.Int64 // queries routed to sequential by an open breaker
-	HandlerPanics atomic.Int64 // HTTP handler panics recovered by middleware
+	EnginePanics  *obs.Counter // contained engine panics (par.PanicError seen)
+	Fallbacks     *obs.Counter // results produced by the sequential fallback
+	BreakerRouted *obs.Counter // queries routed to sequential by an open breaker
+	HandlerPanics *obs.Counter // HTTP handler panics recovered by middleware
 	perAlgorithm  map[string]*Histogram
+}
+
+// newStats registers the request counters and per-algorithm latency
+// histograms on reg.
+func newStats(reg *obs.Registry) Stats {
+	st := Stats{
+		Requests:      reg.Counter("bicc_requests_total", "BCC queries received."),
+		CacheHits:     reg.Counter("bicc_cache_hits_total", "Queries served from a completed cache entry."),
+		CacheMisses:   reg.Counter("bicc_cache_misses_total", "Queries that required a new computation."),
+		Coalesced:     reg.Counter("bicc_coalesced_total", "Queries that joined an in-flight identical computation."),
+		Rejected:      reg.Counter("bicc_rejected_total", "Queries rejected with 429 by a full admission queue."),
+		Canceled:      reg.Counter("bicc_canceled_total", "Queries whose context ended before or while computing."),
+		Computations:  reg.Counter("bicc_computations_total", "Engine runs actually started."),
+		GraphUploads:  reg.Counter("bicc_graph_uploads_total", "Graphs ingested via upload or open."),
+		EnginePanics:  reg.Counter("bicc_engine_panics_total", "Engine panics contained by the parallel runtime."),
+		Fallbacks:     reg.Counter("bicc_fallbacks_total", "Results produced by the sequential fallback."),
+		BreakerRouted: reg.Counter("bicc_breaker_routed_total", "Queries routed to sequential by an open circuit breaker."),
+		HandlerPanics: reg.Counter("bicc_handler_panics_total", "HTTP handler panics recovered by middleware."),
+		perAlgorithm:  map[string]*Histogram{},
+	}
+	lat := reg.HistogramVec("bicc_request_seconds",
+		"End-to-end engine computation latency by executing algorithm.", "algorithm")
+	for _, a := range []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
+		st.perAlgorithm[a.String()] = lat.With(a.String())
+	}
+	return st
 }
 
 // StatsSnapshot is the JSON shape of /statsz.
