@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fuzz-durable race-service test-crash fmt vet clean
 
 all: build test
 
@@ -54,6 +54,25 @@ test-obs:
 	$(GO) test -race ./internal/obs -run . -count=1
 	$(GO) test -race -run 'Trace|Metrics' ./internal/service -count=1
 
+# Durability suite. fuzz-durable hammers the WAL/snapshot/result decoders
+# with ~10s of coverage-guided input per target: recovery code must never
+# panic or over-read on arbitrary bytes. race-service runs the whole
+# service package (durable wiring included) under the race detector.
+# test-crash is the kill-and-restart chaos harness: bccd as a subprocess,
+# SIGKILLed at each durable.* fault site, recovered, verified.
+FUZZTIME ?= 10s
+
+fuzz-durable:
+	$(GO) test ./internal/durable -run FuzzNothing -fuzz FuzzDecodeWAL -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/durable -run FuzzNothing -fuzz FuzzDecodeSnapshot -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/durable -run FuzzNothing -fuzz FuzzDecodeResult -fuzztime $(FUZZTIME)
+
+race-service:
+	$(GO) test -race ./internal/service ./internal/durable -count=1
+
+test-crash:
+	$(GO) test ./cmd/bccd -run 'Crash|SIGTERM' -count=1 -v
+
 # Static analysis for the obs package beyond go vet. staticcheck is optional:
 # the target degrades to a notice when the tool isn't installed.
 lint-obs:
@@ -65,8 +84,10 @@ lint-obs:
 	fi
 
 # The gate run before merging: static checks, race-clean tests, the
-# fault-isolation suite, the observability suite, and a benchmark snapshot.
-ci: vet lint-obs race test-faults test-obs bench-json
+# fault-isolation suite, the observability suite, the durability suite
+# (decoder fuzzing, race-enabled service tests, crash harness), and a
+# benchmark snapshot.
+ci: vet lint-obs race test-faults test-obs fuzz-durable race-service test-crash bench-json
 
 fmt:
 	gofmt -l -w .

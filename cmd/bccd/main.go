@@ -5,15 +5,28 @@
 // Usage:
 //
 //	bccd [-addr :8714] [-workers N] [-queue N] [-cache N]
-//	     [-max-graph-bytes B] [-timeout D] [-allow-local-files]
-//	     [-load name=path ...] [-drain-timeout D] [-attempt-timeout D]
-//	     [-breaker-threshold N] [-breaker-cooldown D] [-no-fallback]
-//	     [-debug-addr :8715]
+//	     [-max-graph-bytes B] [-max-body-bytes B] [-timeout D]
+//	     [-allow-local-files] [-load name=path ...] [-drain-timeout D]
+//	     [-attempt-timeout D] [-breaker-threshold N] [-breaker-cooldown D]
+//	     [-no-fallback] [-debug-addr :8715]
+//	     [-data-dir DIR] [-wal-sync always|interval|none]
+//	     [-wal-sync-interval D] [-compact-bytes B] [-mem-budget B]
+//	     [-spill-budget B]
+//
+// With -data-dir set, the daemon is durable: every acknowledged graph
+// upload is fsync'd to a write-ahead log before the response is sent,
+// snapshots compact the log in the background, and results evicted from
+// the memory cache under -mem-budget spill to disk instead of vanishing.
+// On boot the directory is recovered — torn tails truncated, graphs
+// replayed into the registry, a sample of spilled results re-verified —
+// and the outcome is reported on /statsz and /metrics. Without -data-dir
+// nothing touches disk and the daemon behaves exactly as before.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new work is rejected with
 // 503 (health and stats stay readable), in-flight requests get
 // -drain-timeout to finish, and any stragglers still running after that are
-// canceled through their request contexts before the process exits.
+// canceled through their request contexts before the process exits. The WAL
+// is flushed and closed last, so a clean stop never needs recovery repair.
 //
 // Endpoints:
 //
@@ -55,6 +68,7 @@ import (
 	"time"
 
 	"bicc"
+	"bicc/internal/durable"
 	"bicc/internal/obs"
 	"bicc/internal/service"
 )
@@ -86,6 +100,13 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 15s)")
 	noFallback := flag.Bool("no-fallback", false, "return engine faults as errors instead of degrading to the sequential engine")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this extra address (empty = disabled)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body cap for uploads and queries, 413 past it (0 = 256 MiB)")
+	dataDir := flag.String("data-dir", "", "durable data directory: WAL + snapshots + result spill (empty = diskless)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (per append), interval, or none")
+	walSyncInterval := flag.Duration("wal-sync-interval", 0, "flush period under -wal-sync interval (0 = 5ms)")
+	compactBytes := flag.Int64("compact-bytes", 0, "WAL size that triggers background snapshot compaction (0 = 64 MiB)")
+	memBudget := flag.Int64("mem-budget", 0, "result cache memory budget; past it results spill to disk (0 = entry count only)")
+	spillBudget := flag.Int64("spill-budget", 0, "disk budget for spilled results (0 = unlimited)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a graph at startup: name=path or just path (repeatable; format by extension)")
 	flag.Parse()
@@ -99,6 +120,7 @@ func main() {
 		Queue:            *queue,
 		CacheEntries:     *cacheEntries,
 		MaxGraphBytes:    *maxGraphBytes,
+		MaxBodyBytes:     *maxBodyBytes,
 		DefaultTimeout:   *timeout,
 		AllowLocalFiles:  *allowLocal,
 		AttemptTimeout:   *attemptTimeout,
@@ -106,6 +128,26 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		NoFallback:       *noFallback,
 	})
+	if *dataDir != "" {
+		mode, err := durable.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("-wal-sync: %v", err)
+		}
+		rep, err := srv.EnableDurability(service.DurabilityConfig{
+			Dir:          *dataDir,
+			Sync:         mode,
+			SyncInterval: *walSyncInterval,
+			CompactBytes: *compactBytes,
+			SpillBudget:  *spillBudget,
+			MemBudget:    *memBudget,
+		})
+		if err != nil {
+			log.Fatalf("-data-dir %s: %v", *dataDir, err)
+		}
+		log.Printf("recovered %d graphs from %s in %v (truncations %d, dropped %d, spilled results %d, verified %d, verify failures %d)",
+			rep.Graphs, *dataDir, rep.Duration.Round(time.Millisecond), rep.Truncations,
+			rep.DroppedGraphs+rep.DroppedRecords, rep.SpilledResults, rep.VerifiedResults, rep.VerifyFailures)
+	}
 	for _, spec := range loads {
 		name, fp, err := preload(srv, spec)
 		if err != nil {
@@ -120,14 +162,20 @@ func main() {
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
+	// Listen explicitly so the actual bound address can be logged: with
+	// -addr :0 (tests, harnesses) the kernel picks the port, and callers
+	// discover it from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s", ln.Addr())
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
@@ -161,7 +209,7 @@ func main() {
 	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	err := httpSrv.Shutdown(ctx)
+	err = httpSrv.Shutdown(ctx)
 	if err != nil {
 		// Drain deadline hit with requests still running: cancel their
 		// contexts and give the engines a moment to unwind before exiting.
@@ -170,6 +218,13 @@ func main() {
 		ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel2()
 		_ = httpSrv.Shutdown(ctx2)
+	}
+	// Flush and close the WAL only after the HTTP server has stopped: every
+	// acknowledged write is already on disk (or in the sync loop's hands),
+	// and closing last guarantees a clean stop leaves files the next boot
+	// recovers with zero truncations.
+	if derr := srv.CloseDurability(); derr != nil {
+		log.Printf("closing data dir: %v", derr)
 	}
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("shutdown: %v", err)
@@ -210,6 +265,11 @@ func preload(srv *service.Server, spec string) (name, fp string, err error) {
 	if err != nil {
 		return "", "", fmt.Errorf("parsing: %w", err)
 	}
-	fp, _ = srv.Registry().Add(name, g)
+	// AddGraph, not Registry().Add: preloaded graphs go through the WAL
+	// too when the daemon is durable.
+	fp, _, err = srv.AddGraph(name, g)
+	if err != nil {
+		return "", "", err
+	}
 	return name, fp, nil
 }

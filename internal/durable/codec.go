@@ -1,0 +1,362 @@
+// Package durable is the persistence layer under the bccd query service:
+// a checksummed, versioned binary codec for graphs and decomposition
+// results, a write-ahead log with periodic compacted snapshots for the
+// graph registry, and a disk-spill tier that lets the result cache demote
+// entries to disk under memory pressure instead of dropping them.
+//
+// Every on-disk byte is covered by a CRC-32C frame, and every decoder in
+// this package is written to survive arbitrary input: torn tail records
+// (a crash mid-append) are detected and truncated on recovery, corrupt
+// bodies are dropped and counted, and no length field is trusted beyond
+// the bytes actually present. The decoders are fuzz targets
+// (FuzzDecodeWAL, FuzzDecodeSnapshot).
+//
+// Crash points in the write paths are instrumented as durable.* fault
+// sites, so a chaos harness can SIGKILL the process at exact byte
+// boundaries (internal/faults, KindKill) and prove the recovery contract:
+// every acknowledged write survives a restart, every torn write is
+// cleanly absent.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"bicc"
+)
+
+// File layout constants. Every durable file starts with the 4-byte magic,
+// one file-kind byte, and one format-version byte; records follow.
+const (
+	fileHeaderLen = 6
+	formatVersion = 1
+
+	fileKindWAL      = 'W'
+	fileKindSnapshot = 'S'
+	fileKindResult   = 'R'
+)
+
+var fileMagic = [4]byte{'B', 'C', 'D', 'U'}
+
+// Record kinds inside WAL and snapshot files.
+const (
+	recGraphAdd    = 1 // payload: graph record (fingerprint, name, edges)
+	recGraphRemove = 2 // payload: fingerprint string
+	recResult      = 3 // payload: result record (key, edge labels, JSON view)
+	recSnapEnd     = 4 // payload: u32 count of graph records; snapshot trailer
+)
+
+// frameHeaderLen is the per-record frame: kind byte, payload length, and
+// CRC-32C over (kind byte ++ payload).
+const frameHeaderLen = 1 + 4 + 4
+
+// maxRecordLen caps a single record payload. Graphs are bounded by the
+// service's request-body limit well below this; the cap exists so a corrupt
+// length field cannot drive a multi-gigabyte allocation in the decoder.
+const maxRecordLen = 1 << 31
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a structurally invalid record body: the frame CRC
+// matched (or the file header was readable) but the content is not a valid
+// encoding. Distinct from errTorn, which marks a frame cut short.
+var ErrCorrupt = errors.New("durable: corrupt record")
+
+// errTorn marks an incomplete tail frame: a crash landed mid-append. The
+// scanner reports the last good offset so recovery can truncate.
+var errTorn = errors.New("durable: torn record")
+
+// fileHeader renders the 6-byte file header for the given file kind.
+func fileHeader(kind byte) []byte {
+	h := make([]byte, fileHeaderLen)
+	copy(h, fileMagic[:])
+	h[4] = kind
+	h[5] = formatVersion
+	return h
+}
+
+// checkFileHeader validates b's first fileHeaderLen bytes against kind.
+func checkFileHeader(b []byte, kind byte) error {
+	if len(b) < fileHeaderLen {
+		return fmt.Errorf("%w: file shorter than header", errTorn)
+	}
+	if [4]byte(b[:4]) != fileMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, b[:4])
+	}
+	if b[4] != kind {
+		return fmt.Errorf("%w: file kind %q, want %q", ErrCorrupt, b[4], kind)
+	}
+	if b[5] != formatVersion {
+		return fmt.Errorf("%w: format version %d, want %d", ErrCorrupt, b[5], formatVersion)
+	}
+	return nil
+}
+
+// frameHeader renders the record frame header for payload.
+func frameHeader(kind byte, payload []byte) []byte {
+	h := make([]byte, frameHeaderLen)
+	h[0] = kind
+	binary.LittleEndian.PutUint32(h[1:5], uint32(len(payload)))
+	crc := crc32.Update(crc32.Checksum([]byte{kind}, crcTable), crcTable, payload)
+	binary.LittleEndian.PutUint32(h[5:9], crc)
+	return h
+}
+
+// nextRecord parses one framed record from b. It returns the record kind and
+// payload, plus how many bytes the frame consumed. A frame cut short returns
+// errTorn; a CRC mismatch or oversize length returns ErrCorrupt.
+func nextRecord(b []byte) (kind byte, payload []byte, consumed int, err error) {
+	if len(b) == 0 {
+		return 0, nil, 0, nil // clean end
+	}
+	if len(b) < frameHeaderLen {
+		return 0, nil, 0, errTorn
+	}
+	kind = b[0]
+	n := binary.LittleEndian.Uint32(b[1:5])
+	if n > maxRecordLen {
+		return 0, nil, 0, fmt.Errorf("%w: record length %d", ErrCorrupt, n)
+	}
+	if uint64(len(b)-frameHeaderLen) < uint64(n) {
+		return 0, nil, 0, errTorn
+	}
+	payload = b[frameHeaderLen : frameHeaderLen+int(n)]
+	crc := crc32.Update(crc32.Checksum(b[:1], crcTable), crcTable, payload)
+	if crc != binary.LittleEndian.Uint32(b[5:9]) {
+		return 0, nil, 0, fmt.Errorf("%w: frame CRC mismatch", ErrCorrupt)
+	}
+	return kind, payload, frameHeaderLen + int(n), nil
+}
+
+// --- graph payload ----------------------------------------------------------
+
+// GraphRecord is one persisted registry entry.
+type GraphRecord struct {
+	FP    string // content fingerprint as recorded at append time
+	Name  string // client-supplied label
+	Graph *bicc.Graph
+}
+
+// encodeGraph renders a graph record payload:
+//
+//	[ver:1][fpLen:u8][fp][nameLen:u16][name][n:u32][m:u32][(u,v) int32 pairs]
+func encodeGraph(fp, name string, g *bicc.Graph) []byte {
+	if len(fp) > 255 {
+		fp = fp[:255]
+	}
+	if len(name) > 1<<16-1 {
+		name = name[:1<<16-1]
+	}
+	edges := g.Edges()
+	buf := make([]byte, 0, 1+1+len(fp)+2+len(name)+8+8*len(edges))
+	buf = append(buf, 1) // payload version
+	buf = append(buf, byte(len(fp)))
+	buf = append(buf, fp...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.NumVertices()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(edges)))
+	for _, e := range edges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.V))
+	}
+	return buf
+}
+
+// decodeGraph parses a graph record payload. The graph is rebuilt through
+// bicc.NewGraph, so endpoint ranges, self loops, and duplicates are all
+// re-validated — a corrupt payload that survives the CRC (or a hostile
+// snapshot file) cannot smuggle an invalid graph into the registry.
+func decodeGraph(b []byte) (GraphRecord, error) {
+	var rec GraphRecord
+	r := byteReader{b: b}
+	ver, ok := r.u8()
+	if !ok || ver != 1 {
+		return rec, fmt.Errorf("%w: graph payload version", ErrCorrupt)
+	}
+	fpLen, ok := r.u8()
+	if !ok {
+		return rec, fmt.Errorf("%w: graph fp length", ErrCorrupt)
+	}
+	fp, ok := r.bytes(int(fpLen))
+	if !ok {
+		return rec, fmt.Errorf("%w: graph fp", ErrCorrupt)
+	}
+	nameLen, ok := r.u16()
+	if !ok {
+		return rec, fmt.Errorf("%w: graph name length", ErrCorrupt)
+	}
+	name, ok := r.bytes(int(nameLen))
+	if !ok {
+		return rec, fmt.Errorf("%w: graph name", ErrCorrupt)
+	}
+	n, ok1 := r.u32()
+	m, ok2 := r.u32()
+	if !ok1 || !ok2 {
+		return rec, fmt.Errorf("%w: graph sizes", ErrCorrupt)
+	}
+	if int64(n) > 1<<31-1 || uint64(len(r.b)-r.off) < 8*uint64(m) {
+		return rec, fmt.Errorf("%w: graph edge section short for m=%d", ErrCorrupt, m)
+	}
+	edges := make([]bicc.Edge, m)
+	for i := range edges {
+		u, _ := r.u32()
+		v, _ := r.u32()
+		edges[i] = bicc.Edge{U: int32(u), V: int32(v)}
+	}
+	if r.off != len(r.b) {
+		return rec, fmt.Errorf("%w: %d trailing bytes in graph payload", ErrCorrupt, len(r.b)-r.off)
+	}
+	g, err := bicc.NewGraph(int(n), edges)
+	if err != nil {
+		return rec, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return GraphRecord{FP: string(fp), Name: string(name), Graph: g}, nil
+}
+
+// --- result payload ---------------------------------------------------------
+
+// ResultRecord is one persisted (spilled) decomposition result. The View is
+// the service's serialized response object, stored opaquely; EdgeComponent
+// is kept alongside it so a recovered result can be re-verified against its
+// graph with bicc.Verify.
+type ResultRecord struct {
+	FP            string // graph fingerprint
+	Algorithm     string // executing algorithm name
+	Procs         int
+	EdgeComponent []int32
+	View          []byte // service-level JSON of the cached result
+}
+
+// Key renders the cache key this record answers for.
+func (r ResultRecord) Key() string {
+	return fmt.Sprintf("%s-%s-%d", r.FP, r.Algorithm, r.Procs)
+}
+
+// EncodeResult renders a result record payload:
+//
+//	[ver:1][fpLen:u8][fp][algoLen:u8][algo][procs:u32]
+//	[mcLen:u32][edge labels int32...][viewLen:u32][view]
+func EncodeResult(rec ResultRecord) []byte {
+	fp, algo := rec.FP, rec.Algorithm
+	if len(fp) > 255 {
+		fp = fp[:255]
+	}
+	if len(algo) > 255 {
+		algo = algo[:255]
+	}
+	buf := make([]byte, 0, 1+2+len(fp)+len(algo)+12+4*len(rec.EdgeComponent)+len(rec.View))
+	buf = append(buf, 1)
+	buf = append(buf, byte(len(fp)))
+	buf = append(buf, fp...)
+	buf = append(buf, byte(len(algo)))
+	buf = append(buf, algo...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Procs))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.EdgeComponent)))
+	for _, c := range rec.EdgeComponent {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.View)))
+	buf = append(buf, rec.View...)
+	return buf
+}
+
+// DecodeResult parses a result record payload.
+func DecodeResult(b []byte) (ResultRecord, error) {
+	var rec ResultRecord
+	r := byteReader{b: b}
+	ver, ok := r.u8()
+	if !ok || ver != 1 {
+		return rec, fmt.Errorf("%w: result payload version", ErrCorrupt)
+	}
+	fpLen, ok := r.u8()
+	if !ok {
+		return rec, fmt.Errorf("%w: result fp length", ErrCorrupt)
+	}
+	fp, ok := r.bytes(int(fpLen))
+	if !ok {
+		return rec, fmt.Errorf("%w: result fp", ErrCorrupt)
+	}
+	algoLen, ok := r.u8()
+	if !ok {
+		return rec, fmt.Errorf("%w: result algo length", ErrCorrupt)
+	}
+	algo, ok := r.bytes(int(algoLen))
+	if !ok {
+		return rec, fmt.Errorf("%w: result algo", ErrCorrupt)
+	}
+	procs, ok := r.u32()
+	if !ok || procs > 1<<20 {
+		return rec, fmt.Errorf("%w: result procs", ErrCorrupt)
+	}
+	mc, ok := r.u32()
+	if !ok || uint64(len(r.b)-r.off) < 4*uint64(mc) {
+		return rec, fmt.Errorf("%w: edge label section short for m=%d", ErrCorrupt, mc)
+	}
+	labels := make([]int32, mc)
+	for i := range labels {
+		v, _ := r.u32()
+		labels[i] = int32(v)
+	}
+	viewLen, ok := r.u32()
+	if !ok || uint64(len(r.b)-r.off) < uint64(viewLen) {
+		return rec, fmt.Errorf("%w: view section short", ErrCorrupt)
+	}
+	view, _ := r.bytes(int(viewLen))
+	if r.off != len(r.b) {
+		return rec, fmt.Errorf("%w: %d trailing bytes in result payload", ErrCorrupt, len(r.b)-r.off)
+	}
+	rec.FP = string(fp)
+	rec.Algorithm = string(algo)
+	rec.Procs = int(procs)
+	rec.EdgeComponent = labels
+	rec.View = append([]byte(nil), view...)
+	return rec, nil
+}
+
+// --- bounds-checked cursor --------------------------------------------------
+
+// byteReader is a bounds-checked cursor over a payload; every read reports
+// whether enough bytes remained, so decoders never slice past the input.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) u8() (byte, bool) {
+	if r.off+1 > len(r.b) {
+		return 0, false
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, true
+}
+
+func (r *byteReader) u16() (uint16, bool) {
+	if r.off+2 > len(r.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v, true
+}
+
+func (r *byteReader) u32() (uint32, bool) {
+	if r.off+4 > len(r.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, true
+}
+
+func (r *byteReader) bytes(n int) ([]byte, bool) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, false
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, true
+}

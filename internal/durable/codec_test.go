@@ -1,0 +1,106 @@
+package durable
+
+import (
+	"bytes"
+	"testing"
+
+	"bicc"
+)
+
+func testGraph(t *testing.T, seed int64) *bicc.Graph {
+	t.Helper()
+	g, err := bicc.RandomConnectedGraph(40, 90, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphPayloadRoundTrip(t *testing.T) {
+	g := testGraph(t, 1)
+	payload := encodeGraph("fp-123", "demo graph", g)
+	rec, err := decodeGraph(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FP != "fp-123" || rec.Name != "demo graph" {
+		t.Fatalf("metadata: %q %q", rec.FP, rec.Name)
+	}
+	if rec.Graph.NumVertices() != g.NumVertices() || rec.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes: %d/%d, want %d/%d",
+			rec.Graph.NumVertices(), rec.Graph.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for i, e := range g.Edges() {
+		if rec.Graph.Edges()[i] != e {
+			t.Fatalf("edge %d: %v != %v", i, rec.Graph.Edges()[i], e)
+		}
+	}
+}
+
+func TestGraphPayloadRejectsDamage(t *testing.T) {
+	g := testGraph(t, 2)
+	payload := encodeGraph("fp", "n", g)
+	// Every single-byte truncation must fail cleanly, not panic.
+	for n := 0; n < len(payload); n++ {
+		if _, err := decodeGraph(payload[:n]); err == nil {
+			t.Fatalf("decodeGraph accepted %d/%d bytes", n, len(payload))
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := decodeGraph(append(append([]byte(nil), payload...), 0xee)); err == nil {
+		t.Fatal("decodeGraph accepted trailing bytes")
+	}
+}
+
+func TestResultRecordRoundTrip(t *testing.T) {
+	in := ResultRecord{
+		FP:            "00deadbeef00",
+		Algorithm:     "tv-filter",
+		Procs:         8,
+		EdgeComponent: []int32{0, 1, 1, 2, 0},
+		View:          []byte(`{"num_components":3}`),
+	}
+	out, err := DecodeResult(EncodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FP != in.FP || out.Algorithm != in.Algorithm || out.Procs != in.Procs {
+		t.Fatalf("key fields: %+v", out)
+	}
+	if !bytes.Equal(out.View, in.View) {
+		t.Fatalf("view: %q", out.View)
+	}
+	for i, c := range in.EdgeComponent {
+		if out.EdgeComponent[i] != c {
+			t.Fatalf("label %d: %d != %d", i, out.EdgeComponent[i], c)
+		}
+	}
+	if in.Key() != "00deadbeef00-tv-filter-8" {
+		t.Fatalf("key: %q", in.Key())
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	payload := []byte("hello, durable world")
+	frame := append(frameHeader(7, payload), payload...)
+
+	kind, got, n, err := nextRecord(frame)
+	if err != nil || kind != 7 || n != len(frame) || !bytes.Equal(got, payload) {
+		t.Fatalf("clean frame: kind=%d n=%d err=%v", kind, n, err)
+	}
+	// Flip each byte in turn: every corruption must surface as an error,
+	// never as a silently different payload.
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, _, _, err := nextRecord(bad); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+	// Every truncation is reported as torn or corrupt, never accepted.
+	for n := 1; n < len(frame); n++ {
+		if _, _, _, err := nextRecord(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}

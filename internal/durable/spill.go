@@ -1,0 +1,228 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"bicc/internal/faults"
+)
+
+// Spill is the disk tier of the result cache: CRC-framed result records,
+// one file per cache key, with byte-budget accounting and LRU eviction.
+// Memory-pressure demotion writes here instead of dropping the entry;
+// files survive restarts, so hot decompositions outlive the process.
+//
+// Spill files are a cache, not a log: writes are not fsync'd (a record
+// torn by a crash is detected by CRC on the next read and deleted — the
+// cost is a recompute, never corruption).
+type Spill struct {
+	mu      sync.Mutex
+	dir     string
+	budget  int64 // disk budget in bytes; <= 0 means unlimited
+	bytes   int64
+	seq     int // write sequence, the fault-site iter
+	clock   int64
+	entries map[string]*spillEntry
+
+	writes    atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	corrupt   atomic.Int64
+}
+
+type spillEntry struct {
+	bytes   int64
+	lastUse int64 // logical clock, not wall time: cheap and monotonic
+}
+
+// spillFile maps a cache key to its file path. Keys are fingerprint,
+// algorithm name, and procs joined with '-' — already filesystem-safe.
+func (s *Spill) spillFile(key string) string {
+	return filepath.Join(s.dir, key+".res")
+}
+
+// OpenSpill scans dir (creating it if absent), drops files that fail CRC
+// or decode, and returns the tier plus the keys it holds. budget <= 0
+// means unlimited.
+func OpenSpill(dir string, budget int64) (*Spill, []string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	s := &Spill{dir: dir, budget: budget, entries: map[string]*spillEntry{}}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	var keys []string
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".res") {
+			continue
+		}
+		path := filepath.Join(dir, f.Name())
+		rec, size, err := readSpillFile(path)
+		if err != nil || rec.Key() != strings.TrimSuffix(f.Name(), ".res") {
+			// Torn by a crash mid-demotion, bit-rotted, or renamed by hand:
+			// either way not trustworthy — recompute beats serving it.
+			s.corrupt.Add(1)
+			_ = os.Remove(path)
+			continue
+		}
+		s.entries[rec.Key()] = &spillEntry{bytes: size}
+		s.bytes += size
+		keys = append(keys, rec.Key())
+	}
+	sort.Strings(keys)
+	s.evictOverBudget()
+	return s, keys, nil
+}
+
+// readSpillFile reads and CRC-validates one spill file.
+func readSpillFile(path string) (ResultRecord, int64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ResultRecord{}, 0, err
+	}
+	if err := checkFileHeader(b, fileKindResult); err != nil {
+		return ResultRecord{}, 0, err
+	}
+	kind, payload, n, err := nextRecord(b[fileHeaderLen:])
+	if err != nil {
+		return ResultRecord{}, 0, err
+	}
+	if n == 0 || kind != recResult || fileHeaderLen+n != len(b) {
+		return ResultRecord{}, 0, fmt.Errorf("%w: spill file framing", ErrCorrupt)
+	}
+	rec, err := DecodeResult(payload)
+	return rec, int64(len(b)), err
+}
+
+// Put demotes a result record to disk. The write is torn-tolerant, not
+// atomic: a crash mid-Put leaves a file the next Open discards by CRC.
+func (s *Spill) Put(rec ResultRecord) error {
+	payload := EncodeResult(rec)
+	key := rec.Key()
+	path := s.spillFile(key)
+
+	s.mu.Lock()
+	seq := s.seq
+	s.seq++
+	s.mu.Unlock()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: spill: %w", err)
+	}
+	_, err = f.Write(fileHeader(fileKindResult))
+	if err == nil {
+		_, err = f.Write(frameHeader(recResult, payload))
+	}
+	faults.Inject(nil, siteSpillWrite, 0, seq)
+	if err == nil {
+		_, err = f.Write(payload)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(path)
+		return fmt.Errorf("durable: spill: %w", err)
+	}
+	size := int64(fileHeaderLen + frameHeaderLen + len(payload))
+
+	s.mu.Lock()
+	if old, ok := s.entries[key]; ok {
+		s.bytes -= old.bytes
+	}
+	s.clock++
+	s.entries[key] = &spillEntry{bytes: size, lastUse: s.clock}
+	s.bytes += size
+	s.evictOverBudget()
+	s.mu.Unlock()
+	s.writes.Add(1)
+	return nil
+}
+
+// Get promotes a spilled record back: reads, CRC-validates, and returns it.
+// A corrupt file is deleted and reported as a miss.
+func (s *Spill) Get(key string) (ResultRecord, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return ResultRecord{}, false
+	}
+	s.clock++
+	e.lastUse = s.clock
+	s.mu.Unlock()
+
+	rec, _, err := readSpillFile(s.spillFile(key))
+	if err != nil || rec.Key() != key {
+		s.corrupt.Add(1)
+		s.Remove(key)
+		s.misses.Add(1)
+		return ResultRecord{}, false
+	}
+	s.hits.Add(1)
+	return rec, true
+}
+
+// Remove drops a spilled record and its file.
+func (s *Spill) Remove(key string) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.bytes -= e.bytes
+		delete(s.entries, key)
+	}
+	s.mu.Unlock()
+	_ = os.Remove(s.spillFile(key))
+}
+
+// evictOverBudget drops least-recently-used records until the disk budget
+// is met. Caller holds mu (or is still single-threaded in OpenSpill).
+func (s *Spill) evictOverBudget() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.bytes > s.budget && len(s.entries) > 0 {
+		var victim string
+		var oldest int64
+		first := true
+		for k, e := range s.entries {
+			if first || e.lastUse < oldest {
+				victim, oldest, first = k, e.lastUse, false
+			}
+		}
+		s.bytes -= s.entries[victim].bytes
+		delete(s.entries, victim)
+		_ = os.Remove(s.spillFile(victim))
+		s.evictions.Add(1)
+	}
+}
+
+// Len returns the number of spilled records.
+func (s *Spill) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the disk occupancy of the tier.
+func (s *Spill) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Writes, Hits, Misses, Evictions, and Corrupt expose the tier's counters.
+func (s *Spill) Writes() int64    { return s.writes.Load() }
+func (s *Spill) Hits() int64      { return s.hits.Load() }
+func (s *Spill) Misses() int64    { return s.misses.Load() }
+func (s *Spill) Evictions() int64 { return s.evictions.Load() }
+func (s *Spill) Corrupt() int64   { return s.corrupt.Load() }

@@ -1,0 +1,130 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func spillRec(i, labels int) ResultRecord {
+	ec := make([]int32, labels)
+	for j := range ec {
+		ec[j] = int32(j % 3)
+	}
+	return ResultRecord{
+		FP:            fmt.Sprintf("%016x", i),
+		Algorithm:     "tv-opt",
+		Procs:         4,
+		EdgeComponent: ec,
+		View:          []byte(fmt.Sprintf(`{"num_components":%d}`, i)),
+	}
+}
+
+func TestSpillPutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, keys, err := OpenSpill(dir, 0)
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("fresh: %v %v", keys, err)
+	}
+	in := spillRec(7, 32)
+	if err := s.Put(in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := s.Get(in.Key())
+	if !ok || string(out.View) != string(in.View) || len(out.EdgeComponent) != 32 {
+		t.Fatalf("get: ok=%v %+v", ok, out)
+	}
+	if s.Hits() != 1 || s.Writes() != 1 {
+		t.Fatalf("counters: hits=%d writes=%d", s.Hits(), s.Writes())
+	}
+
+	s2, keys, err := OpenSpill(dir, 0)
+	if err != nil || len(keys) != 1 || keys[0] != in.Key() {
+		t.Fatalf("reopen: %v %v", keys, err)
+	}
+	if out, ok := s2.Get(in.Key()); !ok || string(out.View) != string(in.View) {
+		t.Fatal("spilled record did not survive reopen")
+	}
+}
+
+func TestSpillDropsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenSpill(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := spillRec(1, 8)
+	if err := s.Put(in); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, in.Key()+".res")
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the corrupt file is discarded during the scan.
+	s2, keys, err := OpenSpill(dir, 0)
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("reopen with corrupt file: keys=%v err=%v", keys, err)
+	}
+	if s2.Corrupt() != 1 {
+		t.Fatalf("corrupt counter = %d", s2.Corrupt())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not deleted")
+	}
+
+	// And a file corrupted after open is dropped at Get time.
+	if err := s2.Put(in); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(path)
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(in.Key()); ok {
+		t.Fatal("Get served a corrupt record")
+	}
+	if s2.Len() != 0 {
+		t.Fatalf("len = %d after corrupt Get", s2.Len())
+	}
+}
+
+func TestSpillBudgetEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	one := spillRec(0, 64)
+	oneSize := int64(fileHeaderLen + frameHeaderLen + len(EncodeResult(one)))
+	s, _, err := OpenSpill(dir, 3*oneSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(spillRec(i, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch record 0 so record 1 is the LRU victim.
+	if _, ok := s.Get(spillRec(0, 64).Key()); !ok {
+		t.Fatal("get 0")
+	}
+	if err := s.Put(spillRec(3, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("evictions = %d", s.Evictions())
+	}
+	if _, ok := s.Get(spillRec(1, 64).Key()); ok {
+		t.Fatal("LRU record 1 still present")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := s.Get(spillRec(i, 64).Key()); !ok {
+			t.Fatalf("record %d missing", i)
+		}
+	}
+	if s.Bytes() > 3*oneSize {
+		t.Fatalf("bytes %d over budget %d", s.Bytes(), 3*oneSize)
+	}
+}

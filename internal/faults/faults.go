@@ -41,6 +41,7 @@ var (
 	mInjPanic  = mInjected.With(KindPanic.String())
 	mInjDelay  = mInjected.With(KindDelay.String())
 	mInjCancel = mInjected.With(KindCancel.String())
+	mInjKill   = mInjected.With(KindKill.String())
 )
 
 // Kind is the effect a rule injects at a matching site.
@@ -57,6 +58,12 @@ const (
 	// simulating a spurious internal cancellation. At sites without a
 	// canceler it is a no-op.
 	KindCancel
+	// KindKill terminates the process with an uncatchable SIGKILL at the
+	// matching site — no deferred functions, no flushes, exactly the death
+	// an OOM killer or power loss delivers. It exists for crash-recovery
+	// harnesses that run the victim as a subprocess (the durable.* sites);
+	// it is never part of the in-process fault matrix.
+	KindKill
 )
 
 // String names the kind as used in BICC_FAULTS specs.
@@ -68,6 +75,8 @@ func (k Kind) String() string {
 		return "delay"
 	case KindCancel:
 		return "cancel"
+	case KindKill:
+		return "kill"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -213,6 +222,9 @@ func (p *Plan) fire(c *par.Canceler, site string, worker, iter int) {
 				mInjCancel.Inc()
 				c.Cancel(fmt.Errorf("%w at %s (worker %d, iter %d)", ErrInjected, site, worker, iter))
 			}
+		case KindKill:
+			mInjKill.Inc()
+			killSelf(site, worker, iter)
 		}
 	}
 }
@@ -306,6 +318,8 @@ func Parse(spec string, seed uint64) (*Plan, error) {
 			kind = KindDelay
 		case "cancel":
 			kind = KindCancel
+		case "kill":
+			kind = KindKill
 		default:
 			return nil, fmt.Errorf("unknown fault kind %q in rule %q", fields[0], rs)
 		}

@@ -1,0 +1,22 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+)
+
+// killSelf delivers an uncatchable kill to the current process. os.Process.Kill
+// sends SIGKILL on Unix (TerminateProcess on Windows), so no deferred
+// function, signal handler, or buffered writer runs — the closest portable
+// approximation of an OOM kill or power loss. The log line before dying lets
+// a crash harness confirm the kill fired at the intended site rather than the
+// process dying for an unrelated reason.
+func killSelf(site string, worker, iter int) {
+	fmt.Fprintf(os.Stderr, "faults: injected kill at %s (worker %d, iter %d)\n", site, worker, iter)
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		_ = p.Kill()
+	}
+	// Kill delivery is asynchronous on some platforms; make death certain.
+	select {}
+}

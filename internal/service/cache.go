@@ -3,9 +3,12 @@ package service
 import (
 	"container/list"
 	"context"
+	"encoding/json"
+	"fmt"
 	"sync"
 
 	"bicc"
+	"bicc/internal/durable"
 )
 
 // resultKey identifies a cacheable computation: same graph content, same
@@ -16,6 +19,12 @@ type resultKey struct {
 	fp    string
 	algo  bicc.Algorithm
 	procs int
+}
+
+// durableKey renders the key in the spill tier's naming scheme, matching
+// durable.ResultRecord.Key.
+func (k resultKey) durableKey() string {
+	return fmt.Sprintf("%s-%s-%d", k.fp, k.algo.String(), k.procs)
 }
 
 // cacheEntry is one computation, either in flight or completed. ready is
@@ -32,6 +41,7 @@ type cacheEntry struct {
 	cancel  context.CancelFunc
 	done    bool
 	elem    *list.Element // LRU position once completed
+	bytes   int64         // estimated resident size, charged while cached
 }
 
 // ResultCache is a single-flight LRU cache of BCC query results. Concurrent
@@ -49,6 +59,15 @@ type ResultCache struct {
 	entries    map[resultKey]*cacheEntry
 	lru        *list.List // of resultKey, front = most recent
 	maxEntries int
+
+	// Disk tier. When spill is set, memory-pressure eviction demotes the
+	// LRU entry's record to disk instead of dropping it, and a miss checks
+	// the disk tier before starting a computation. memBudget bounds the
+	// estimated resident bytes of completed entries; <= 0 leaves only the
+	// entry-count bound.
+	spill     *durable.Spill
+	memBudget int64
+	bytes     int64
 }
 
 // NewResultCache returns a cache holding up to maxEntries completed results;
@@ -66,6 +85,40 @@ func (c *ResultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// Bytes returns the estimated resident size of completed cached results.
+func (c *ResultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// SetDurable attaches (or, with nil, detaches) the disk tier and the
+// memory byte budget. Entries already resident keep their place; the
+// budget applies from the next insertion.
+func (c *ResultCache) SetDurable(spill *durable.Spill, memBudget int64) {
+	c.mu.Lock()
+	c.spill = spill
+	c.memBudget = memBudget
+	c.mu.Unlock()
+}
+
+// resultBytes estimates the resident size of a cached result: the label
+// slice dominates, the derived views are charged per element, and the
+// fixed overhead covers the struct, entry, and map bookkeeping.
+func resultBytes(res *queryResult) int64 {
+	n := int64(512)
+	n += int64(len(res.edgeComp)) * 4
+	n += int64(len(res.ArticulationPoints)+len(res.Bridges)) * 4
+	for _, comp := range res.Components {
+		n += int64(len(comp))*4 + 24
+	}
+	n += int64(len(res.Phases)) * 96
+	if res.Trace != nil {
+		n += int64(len(res.Trace.Spans)) * 128
+	}
+	return n
 }
 
 // Outcome classifies how a Do call was served, for stats.
@@ -102,6 +155,12 @@ func (c *ResultCache) Do(ctx context.Context, key resultKey,
 		c.mu.Unlock()
 		return c.wait(ctx, key, e, OutcomeCoalesced)
 	}
+	if c.spill != nil {
+		if res, ok := c.promoteLocked(key); ok {
+			c.mu.Unlock()
+			return res, nil, OutcomeHit
+		}
+	}
 
 	base := context.Background()
 	if ctx != nil {
@@ -132,11 +191,9 @@ func (c *ResultCache) Do(ctx context.Context, key resultKey,
 			}
 		} else {
 			e.elem = c.lru.PushFront(key)
-			for c.lru.Len() > c.maxEntries {
-				back := c.lru.Back()
-				c.lru.Remove(back)
-				delete(c.entries, back.Value.(resultKey))
-			}
+			e.bytes = resultBytes(res)
+			c.bytes += e.bytes
+			c.enforceBudgetLocked(e)
 		}
 		c.mu.Unlock()
 	}()
@@ -171,4 +228,71 @@ func (c *ResultCache) wait(ctx context.Context, key resultKey, e *cacheEntry, oc
 		c.mu.Unlock()
 		return nil, ctx.Err(), oc
 	}
+}
+
+// promoteLocked serves a miss from the disk tier: read, decode, and (when
+// retention is on) re-insert the record as a completed memory entry. A
+// record that fails to decode is deleted — recompute beats serving it.
+// Caller holds c.mu.
+func (c *ResultCache) promoteLocked(key resultKey) (*queryResult, bool) {
+	rec, ok := c.spill.Get(key.durableKey())
+	if !ok {
+		return nil, false
+	}
+	res := new(queryResult)
+	if err := json.Unmarshal(rec.View, res); err != nil {
+		c.spill.Remove(key.durableKey())
+		return nil, false
+	}
+	res.edgeComp = rec.EdgeComponent
+	if c.maxEntries > 0 {
+		ready := make(chan struct{})
+		close(ready)
+		e := &cacheEntry{ready: ready, res: res, done: true, bytes: resultBytes(res)}
+		e.elem = c.lru.PushFront(key)
+		c.entries[key] = e
+		c.bytes += e.bytes
+		c.enforceBudgetLocked(e)
+	}
+	return res, true
+}
+
+// enforceBudgetLocked demotes (or, with no disk tier, drops) completed
+// entries LRU-first until both the entry-count and byte budgets hold.
+// keep, the entry being inserted, is exempt: an oversized result must
+// survive its own insertion. Caller holds c.mu.
+func (c *ResultCache) enforceBudgetLocked(keep *cacheEntry) {
+	for c.lru.Len() > c.maxEntries || (c.memBudget > 0 && c.bytes > c.memBudget) {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(resultKey)
+		e := c.entries[key]
+		if e == keep {
+			return
+		}
+		c.demoteLocked(key, e)
+	}
+}
+
+// demoteLocked removes a completed entry from the memory tier, writing it
+// to the disk tier first when one is attached. Results recovered without
+// their labels (or degraded ones, which are never cached) cannot be
+// re-verified after a crash, so only label-bearing entries are spilled.
+func (c *ResultCache) demoteLocked(key resultKey, e *cacheEntry) {
+	if c.spill != nil && e.res != nil && e.res.edgeComp != nil {
+		if view, err := json.Marshal(e.res); err == nil {
+			_ = c.spill.Put(durable.ResultRecord{
+				FP:            key.fp,
+				Algorithm:     key.algo.String(),
+				Procs:         key.procs,
+				EdgeComponent: e.res.edgeComp,
+				View:          view,
+			})
+		}
+	}
+	c.lru.Remove(e.elem)
+	delete(c.entries, key)
+	c.bytes -= e.bytes
 }

@@ -60,6 +60,19 @@ type Registry struct {
 	maxBytes int64
 	bytes    int64
 	evicted  int64
+	// onEvict, when set, is told the fingerprint of every entry evicted
+	// for space, after the registry lock is released. The durability layer
+	// uses it to append a WAL remove, keeping the on-disk state in step
+	// with the resident set.
+	onEvict func(fp string)
+}
+
+// SetEvictObserver installs (or, with nil, removes) the space-eviction
+// callback. The callback runs outside the registry lock.
+func (r *Registry) SetEvictObserver(fn func(fp string)) {
+	r.mu.Lock()
+	r.onEvict = fn
+	r.mu.Unlock()
 }
 
 // NewRegistry returns a registry with the given resident-size budget in
@@ -82,12 +95,12 @@ func graphBytes(g *bicc.Graph) int64 {
 func (r *Registry) Add(name string, g *bicc.Graph) (fp string, existed bool) {
 	fp = Fingerprint(g)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if e, ok := r.entries[fp]; ok && !e.dead {
 		e.lastUse = time.Now()
 		if name != "" {
 			e.info.Name = name
 		}
+		r.mu.Unlock()
 		return fp, true
 	}
 	e := &regEntry{
@@ -103,7 +116,14 @@ func (r *Registry) Add(name string, g *bicc.Graph) (fp string, existed bool) {
 	}
 	r.entries[fp] = e
 	r.bytes += e.info.Bytes
-	r.evictLocked(e)
+	victims := r.evictLocked(e)
+	cb := r.onEvict
+	r.mu.Unlock()
+	if cb != nil {
+		for _, v := range victims {
+			cb(v)
+		}
+	}
 	return fp, false
 }
 
@@ -220,13 +240,16 @@ func (r *Registry) deleteLocked(fp string, e *regEntry) {
 }
 
 // evictLocked drops unreferenced entries, least recently used first, until
-// the budget is met or only pinned entries remain. keep, when non-nil, is
-// exempt — the entry being added must survive its own Add even if it alone
-// blows the budget, or uploads would succeed and immediately vanish.
-func (r *Registry) evictLocked(keep *regEntry) {
+// the budget is met or only pinned entries remain, returning the victims'
+// fingerprints so the caller can notify the evict observer outside the
+// lock. keep, when non-nil, is exempt — the entry being added must survive
+// its own Add even if it alone blows the budget, or uploads would succeed
+// and immediately vanish.
+func (r *Registry) evictLocked(keep *regEntry) []string {
 	if r.maxBytes <= 0 {
-		return
+		return nil
 	}
+	var victims []string
 	for r.bytes > r.maxBytes {
 		var victimFP string
 		var victim *regEntry
@@ -239,9 +262,11 @@ func (r *Registry) evictLocked(keep *regEntry) {
 			}
 		}
 		if victim == nil {
-			return
+			break
 		}
 		r.deleteLocked(victimFP, victim)
 		r.evicted++
+		victims = append(victims, victimFP)
 	}
+	return victims
 }

@@ -61,9 +61,9 @@ type Config struct {
 	CacheEntries int
 	// MaxGraphBytes bounds the registry's resident size; <= 0 means 1 GiB.
 	MaxGraphBytes int64
-	// MaxUploadBytes bounds the request body of a graph upload; <= 0 means
-	// 512 MiB.
-	MaxUploadBytes int64
+	// MaxBodyBytes bounds the request body of a graph upload and of a BCC
+	// query; oversize requests get 413. <= 0 means 256 MiB.
+	MaxBodyBytes int64
 	// DefaultTimeout applies to queries that set no timeout_ms; <= 0 means
 	// 60 s.
 	DefaultTimeout time.Duration
@@ -108,8 +108,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxGraphBytes <= 0 {
 		c.MaxGraphBytes = 1 << 30
 	}
-	if c.MaxUploadBytes <= 0 {
-		c.MaxUploadBytes = 512 << 20
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 60 * time.Second
@@ -148,6 +148,9 @@ type Server struct {
 	// resort.
 	breakers map[string]*Breaker
 	draining atomic.Bool
+	// dur is the durable state when EnableDurability has been called, nil
+	// otherwise; the disabled path costs one atomic load per touch point.
+	dur atomic.Pointer[durability]
 }
 
 // New returns a Server with the given configuration.
@@ -327,14 +330,36 @@ type graphUploadResponse struct {
 // normalize=1 to drop self loops / duplicate edges instead of rejecting
 // them, name=<label>.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	q := r.URL.Query().Get("normalize")
 	g, loops, dups, err := readGraph(body, r.URL.Query().Get("format"), q == "1" || q == "true")
 	if err != nil {
+		// A body truncated at the cap mid-record surfaces as a parse error
+		// before the reader reports the cap; probing the remaining body
+		// distinguishes "over the limit" from a genuinely malformed graph.
+		var mbe *http.MaxBytesError
+		if _, perr := body.Read(make([]byte, 1)); perr != nil && errors.As(perr, &mbe) {
+			err = perr
+		}
+		if writeTooLarge(w, err, s.cfg.MaxBodyBytes) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "parsing graph: %v", err)
 		return
 	}
 	s.registerGraph(w, g, r.URL.Query().Get("name"), loops, dups)
+}
+
+// writeTooLarge answers 413 if err came from the MaxBytesReader body cap,
+// reporting whether it handled the error.
+func writeTooLarge(w http.ResponseWriter, err error, limit int64) bool {
+	var mbe *http.MaxBytesError
+	if !errors.As(err, &mbe) {
+		return false
+	}
+	writeError(w, http.StatusRequestEntityTooLarge,
+		"request body exceeds %d bytes (raise -max-body-bytes)", limit)
+	return true
 }
 
 type openRequest struct {
@@ -388,10 +413,34 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 
 // registerGraph registers g and answers with the entry's info.
 func (s *Server) registerGraph(w http.ResponseWriter, g *bicc.Graph, name string, loops, dups int) {
-	fp, existed := s.registry.Add(name, g)
+	fp, existed, err := s.AddGraph(name, g)
+	if err != nil {
+		// Not persisted means not acknowledged: the client must not
+		// believe in a graph that a restart would forget.
+		writeError(w, http.StatusServiceUnavailable, "persisting graph: %v", err)
+		return
+	}
 	s.stats.GraphUploads.Add(1)
 	info, _ := s.registry.Get(fp)
 	writeJSON(w, http.StatusOK, graphUploadResponse{GraphInfo: info, Existed: existed, Loops: loops, Dups: dups})
+}
+
+// AddGraph registers g in the registry, first appending it to the WAL when
+// durability is enabled: a graph is acknowledged only once it is on disk.
+// A crash between append and registry insert replays the record at the
+// next boot — at-least-once, never lost-after-ack. Used by the upload
+// handlers and by the daemon's -load preloading.
+func (s *Server) AddGraph(name string, g *bicc.Graph) (fp string, existed bool, err error) {
+	fp = Fingerprint(g)
+	if d := s.dur.Load(); d != nil {
+		if _, ok := s.registry.Get(fp); !ok {
+			if err := d.store.AppendAdd(fp, name, g); err != nil {
+				return "", false, err
+			}
+		}
+	}
+	fp, existed = s.registry.Add(name, g)
+	return fp, existed, nil
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -410,6 +459,20 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fp")
+	if _, ok := s.registry.Get(fp); !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", fp)
+		return
+	}
+	// Delete follows the same discipline as add: durable first, then the
+	// resident state, so an acknowledged delete survives a crash. A WAL
+	// remove for a fingerprint that raced away is a harmless no-op at
+	// replay.
+	if d := s.dur.Load(); d != nil {
+		if err := d.store.AppendRemove(fp); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "persisting removal: %v", err)
+			return
+		}
+	}
 	if !s.registry.Remove(fp) {
 		writeError(w, http.StatusNotFound, "no graph %q", fp)
 		return
@@ -450,6 +513,11 @@ type queryResult struct {
 	// result (admission wait, engine attempts, pipeline phases). It rides
 	// the cache entry but is only serialized for requests asking ?trace=1.
 	Trace *obs.TraceExport `json:"trace,omitempty"`
+	// edgeComp is the raw per-edge component labeling the views above were
+	// derived from. Unexported so it never serializes in responses; the
+	// durability layer persists it alongside the JSON view so recovered
+	// results can be re-checked with bicc.Verify.
+	edgeComp []int32
 }
 
 type blockCutJSON struct {
@@ -471,7 +539,11 @@ type bccResponse struct {
 func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 	s.stats.Requests.Add(1)
 	var req bccRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		if writeTooLarge(w, err, s.cfg.MaxBodyBytes) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
@@ -621,6 +693,7 @@ func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm
 		NumArticulation: len(cuts),
 		NumBridges:      len(bridges),
 		ElapsedNs:       int64(elapsed),
+		edgeComp:        res.EdgeComponent,
 	}
 	for _, ph := range res.Phases {
 		out.Phases = append(out.Phases, map[string]any{"name": ph.Name, "ns": int64(ph.Duration)})
@@ -741,6 +814,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 		if hs := h.Snapshot(); hs.Count > 0 {
 			snap.Latency[name] = hs
 		}
+	}
+	if d := s.dur.Load(); d != nil {
+		snap.Durability = d.snapshot(s.cache)
 	}
 	return snap
 }

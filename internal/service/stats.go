@@ -86,6 +86,9 @@ type StatsSnapshot struct {
 	HandlerPanics int64                        `json:"handler_panics"`
 	Breakers      map[string]BreakerSnapshot   `json:"breakers,omitempty"`
 	Latency       map[string]HistogramSnapshot `json:"latency_ns_by_algorithm"`
+	// Durability is present only when the daemon runs with a data
+	// directory; a diskless bccd's /statsz is unchanged.
+	Durability *DurabilitySnapshot `json:"durability,omitempty"`
 }
 
 // BreakerSnapshot is one algorithm's circuit-breaker state on /statsz.

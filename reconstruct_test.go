@@ -1,0 +1,64 @@
+package bicc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReconstructResultRoundTrip persists nothing but proves the durability
+// contract ReconstructResult exists for: labels from a real decomposition
+// reconstruct into a Result that passes the independent Verify check, and
+// damaged labels do not.
+func TestReconstructResultRoundTrip(t *testing.T) {
+	g, err := RandomConnectedGraph(200, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := BiconnectedComponents(g, &Options{Algorithm: TVOpt, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReconstructResult(g, orig.Algorithm, orig.EdgeComponent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NumComponents != orig.NumComponents {
+		t.Fatalf("NumComponents = %d, want %d", rec.NumComponents, orig.NumComponents)
+	}
+	if err := Verify(g, rec); err != nil {
+		t.Fatalf("reconstructed result failed Verify: %v", err)
+	}
+	if got, want := len(rec.ArticulationPoints()), len(orig.ArticulationPoints()); got != want {
+		t.Fatalf("articulation points: %d, want %d", got, want)
+	}
+
+	// Tampered labels must be caught — by ReconstructResult for shape
+	// errors, by Verify for structural ones.
+	if _, err := ReconstructResult(g, TVOpt, orig.EdgeComponent[:3]); err == nil {
+		t.Fatal("short label slice accepted")
+	}
+	bad := append([]int32(nil), orig.EdgeComponent...)
+	bad[0] = -1
+	if _, err := ReconstructResult(g, TVOpt, bad); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative label: %v", err)
+	}
+	if orig.NumComponents > 1 {
+		swapped := append([]int32(nil), orig.EdgeComponent...)
+		for i, c := range swapped {
+			if c != swapped[0] {
+				swapped[i], swapped[0] = swapped[0], swapped[i]
+				break
+			}
+		}
+		rec2, err := ReconstructResult(g, TVOpt, swapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, rec2); err == nil {
+			t.Fatal("Verify accepted swapped block labels")
+		}
+	}
+	if _, err := ReconstructResult(nil, TVOpt, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
