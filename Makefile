@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fuzz-durable race-service test-crash fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fuzz-durable fuzz-shard test-shard race-service test-crash fmt vet clean
 
 all: build test
 
@@ -67,6 +67,19 @@ fuzz-durable:
 	$(GO) test ./internal/durable -run FuzzNothing -fuzz FuzzDecodeSnapshot -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/durable -run FuzzNothing -fuzz FuzzDecodeResult -fuzztime $(FUZZTIME)
 
+# Shard suite. test-shard runs the differential harness (shard answers must
+# equal the monolith byte for byte across 3 graph families × 4 algorithms ×
+# 5 query kinds), the block-cut invariant property tests, and the manager's
+# residency/fault tests — race-enabled. fuzz-shard hammers the routing-index
+# and shard payload decoders like fuzz-durable does the durable codecs.
+test-shard:
+	$(GO) test -race ./internal/shard -count=1
+	$(GO) test -race -run 'Shard' ./internal/service ./internal/faults -count=1
+
+fuzz-shard:
+	$(GO) test ./internal/shard -run FuzzNothing -fuzz FuzzDecodeIndex -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/shard -run FuzzNothing -fuzz FuzzDecodeShard -fuzztime $(FUZZTIME)
+
 race-service:
 	$(GO) test -race ./internal/service ./internal/durable -count=1
 
@@ -85,9 +98,9 @@ lint-obs:
 
 # The gate run before merging: static checks, race-clean tests, the
 # fault-isolation suite, the observability suite, the durability suite
-# (decoder fuzzing, race-enabled service tests, crash harness), and a
-# benchmark snapshot.
-ci: vet lint-obs race test-faults test-obs fuzz-durable race-service test-crash bench-json
+# (decoder fuzzing, race-enabled service tests, crash harness), the shard
+# suite (differential harness + codec fuzzing), and a benchmark snapshot.
+ci: vet lint-obs race test-faults test-obs fuzz-durable test-shard fuzz-shard race-service test-crash bench-json
 
 fmt:
 	gofmt -l -w .

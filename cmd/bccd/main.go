@@ -11,7 +11,7 @@
 //	     [-no-fallback] [-debug-addr :8715]
 //	     [-data-dir DIR] [-wal-sync always|interval|none]
 //	     [-wal-sync-interval D] [-compact-bytes B] [-mem-budget B]
-//	     [-spill-budget B]
+//	     [-spill-budget B] [-shard] [-shard-budget B] [-shard-spill-budget B]
 //
 // With -data-dir set, the daemon is durable: every acknowledged graph
 // upload is fsync'd to a write-ahead log before the response is sent,
@@ -21,6 +21,16 @@
 // replayed into the registry, a sample of spilled results re-verified —
 // and the outcome is reported on /statsz and /metrics. Without -data-dir
 // nothing touches disk and the daemon behaves exactly as before.
+//
+// With -shard, the daemon additionally maintains a shard-by-component query
+// layer: the first per-block query for a (graph, algorithm, procs) triple
+// decomposes once and partitions the result into per-block shards behind a
+// compact vertex-to-shard routing index, so later queries touch one shard
+// instead of the whole payload. Past -shard-budget bytes, least-recently
+// used shards demote to disk under <data-dir>/shards (bounded by
+// -shard-spill-budget) and promote back on demand; without -data-dir the
+// layer is memory-only. If a shard build fails, the query is answered
+// through the monolithic cached path and marked degraded.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new work is rejected with
 // 503 (health and stats stay readable), in-flight requests get
@@ -39,6 +49,11 @@
 //	DELETE /v1/graphs/{fp}   evict a graph
 //	POST   /v1/bcc           run a query: {"graph": fp, "algorithm": ...,
 //	                         "procs": N, "timeout_ms": T, "include": [...]}
+//	GET    /v1/block/{id}    one block's vertices, cut vertices, and
+//	                         (?include=subgraph) remapped subgraph
+//	                         (?graph=fp, requires -shard)
+//	GET    /v1/vertex/{v}/blocks        block ids containing v (-shard)
+//	GET    /v1/vertex/{v}/articulation  articulation membership of v (-shard)
 //	GET    /healthz          liveness
 //	GET    /statsz           cache hit rate, queue depth, latency histograms
 //	GET    /metrics          Prometheus text exposition (engine + service)
@@ -107,6 +122,9 @@ func main() {
 	compactBytes := flag.Int64("compact-bytes", 0, "WAL size that triggers background snapshot compaction (0 = 64 MiB)")
 	memBudget := flag.Int64("mem-budget", 0, "result cache memory budget; past it results spill to disk (0 = entry count only)")
 	spillBudget := flag.Int64("spill-budget", 0, "disk budget for spilled results (0 = unlimited)")
+	shardOn := flag.Bool("shard", false, "enable the shard-by-component per-block query endpoints")
+	shardBudget := flag.Int64("shard-budget", 0, "resident byte budget for shard state; past it shards demote (0 = unlimited)")
+	shardSpillBudget := flag.Int64("shard-spill-budget", 0, "disk budget for demoted shards under <data-dir>/shards (0 = unlimited)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a graph at startup: name=path or just path (repeatable; format by extension)")
 	flag.Parse()
@@ -147,6 +165,25 @@ func main() {
 		log.Printf("recovered %d graphs from %s in %v (truncations %d, dropped %d, spilled results %d, verified %d, verify failures %d)",
 			rep.Graphs, *dataDir, rep.Duration.Round(time.Millisecond), rep.Truncations,
 			rep.DroppedGraphs+rep.DroppedRecords, rep.SpilledResults, rep.VerifiedResults, rep.VerifyFailures)
+	}
+	if *shardOn {
+		cfg := service.ShardingConfig{
+			MemBudget:   *shardBudget,
+			SpillBudget: *shardSpillBudget,
+		}
+		// Demoted shards only have somewhere to go when the daemon already
+		// has a data directory; diskless sharding stays memory-only.
+		if *dataDir != "" {
+			cfg.SpillDir = filepath.Join(*dataDir, "shards")
+		}
+		if err := srv.EnableSharding(cfg); err != nil {
+			log.Fatalf("-shard: %v", err)
+		}
+		if cfg.SpillDir != "" {
+			log.Printf("sharding enabled (spill dir %s)", cfg.SpillDir)
+		} else {
+			log.Printf("sharding enabled (memory-only)")
+		}
 	}
 	for _, spec := range loads {
 		name, fp, err := preload(srv, spec)

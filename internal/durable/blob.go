@@ -1,0 +1,237 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// BlobSpill is a disk tier for opaque, caller-encoded payloads — one
+// CRC-framed file per key, with byte-budget accounting and LRU eviction.
+// The shard layer demotes per-block query state here; unlike Spill it does
+// not interpret the payload, so any subsystem with its own (fuzzed,
+// torn-byte-safe) codec can use it.
+//
+// Like Spill, blob files are a cache, not a log: writes are not fsync'd. A
+// record torn by a crash fails its frame CRC on the next read and is
+// deleted — the cost is a rebuild, never corruption. The key is stored
+// inside the frame as well as in the filename, so a file renamed by hand
+// is rejected instead of served under the wrong key.
+type BlobSpill struct {
+	mu      sync.Mutex
+	dir     string
+	budget  int64 // disk budget in bytes; <= 0 means unlimited
+	bytes   int64
+	clock   int64
+	entries map[string]*spillEntry
+
+	writes    atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	corrupt   atomic.Int64
+}
+
+// blobFile maps a key to its file path. Callers must use filesystem-safe
+// keys (the shard layer's are fingerprint-derived hex plus '-').
+func (s *BlobSpill) blobFile(key string) string {
+	return filepath.Join(s.dir, key+".blob")
+}
+
+// encodeBlob renders the record payload: [keyLen:u32][key][bytes].
+func encodeBlob(key string, payload []byte) []byte {
+	buf := make([]byte, 0, 4+len(key)+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+	return buf
+}
+
+// decodeBlob parses an encodeBlob payload.
+func decodeBlob(b []byte) (key string, payload []byte, err error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("%w: blob key length", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if uint64(n) > uint64(len(b)-4) {
+		return "", nil, fmt.Errorf("%w: blob key", ErrCorrupt)
+	}
+	return string(b[4 : 4+n]), b[4+n:], nil
+}
+
+// readBlobFile reads and CRC-validates one blob file.
+func readBlobFile(path string) (key string, payload []byte, size int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if err := checkFileHeader(b, fileKindBlob); err != nil {
+		return "", nil, 0, err
+	}
+	kind, rec, n, err := nextRecord(b[fileHeaderLen:])
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if n == 0 || kind != recBlob || fileHeaderLen+n != len(b) {
+		return "", nil, 0, fmt.Errorf("%w: blob file framing", ErrCorrupt)
+	}
+	key, payload, err = decodeBlob(rec)
+	return key, payload, int64(len(b)), err
+}
+
+// OpenBlobSpill scans dir (creating it if absent), drops files that fail
+// CRC, decode, or key/filename agreement, and returns the tier plus the
+// keys it holds, sorted. budget <= 0 means unlimited.
+func OpenBlobSpill(dir string, budget int64) (*BlobSpill, []string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	s := &BlobSpill{dir: dir, budget: budget, entries: map[string]*spillEntry{}}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	var keys []string
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".blob") {
+			continue
+		}
+		path := filepath.Join(dir, f.Name())
+		key, _, size, err := readBlobFile(path)
+		if err != nil || key != strings.TrimSuffix(f.Name(), ".blob") {
+			s.corrupt.Add(1)
+			_ = os.Remove(path)
+			continue
+		}
+		s.entries[key] = &spillEntry{bytes: size}
+		s.bytes += size
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	s.evictOverBudget()
+	return s, keys, nil
+}
+
+// Put demotes one payload to disk under key. The write is torn-tolerant,
+// not atomic: a crash mid-Put leaves a file the next read or Open discards
+// by CRC.
+func (s *BlobSpill) Put(key string, payload []byte) error {
+	rec := encodeBlob(key, payload)
+	path := s.blobFile(key)
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: blob: %w", err)
+	}
+	_, err = f.Write(fileHeader(fileKindBlob))
+	if err == nil {
+		_, err = f.Write(frameHeader(recBlob, rec))
+	}
+	if err == nil {
+		_, err = f.Write(rec)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(path)
+		return fmt.Errorf("durable: blob: %w", err)
+	}
+	size := int64(fileHeaderLen + frameHeaderLen + len(rec))
+
+	s.mu.Lock()
+	if old, ok := s.entries[key]; ok {
+		s.bytes -= old.bytes
+	}
+	s.clock++
+	s.entries[key] = &spillEntry{bytes: size, lastUse: s.clock}
+	s.bytes += size
+	s.evictOverBudget()
+	s.mu.Unlock()
+	s.writes.Add(1)
+	return nil
+}
+
+// Get promotes a spilled payload: reads, CRC-validates, and returns it. A
+// corrupt or cross-wired file is deleted and reported as a miss.
+func (s *BlobSpill) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.clock++
+	e.lastUse = s.clock
+	s.mu.Unlock()
+
+	k, payload, _, err := readBlobFile(s.blobFile(key))
+	if err != nil || k != key {
+		s.corrupt.Add(1)
+		s.Remove(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Remove drops a spilled payload and its file.
+func (s *BlobSpill) Remove(key string) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.bytes -= e.bytes
+		delete(s.entries, key)
+	}
+	s.mu.Unlock()
+	_ = os.Remove(s.blobFile(key))
+}
+
+// evictOverBudget drops least-recently-used payloads until the disk budget
+// is met. Caller holds mu (or is still single-threaded in OpenBlobSpill).
+func (s *BlobSpill) evictOverBudget() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.bytes > s.budget && len(s.entries) > 0 {
+		var victim string
+		var oldest int64
+		first := true
+		for k, e := range s.entries {
+			if first || e.lastUse < oldest {
+				victim, oldest, first = k, e.lastUse, false
+			}
+		}
+		s.bytes -= s.entries[victim].bytes
+		delete(s.entries, victim)
+		_ = os.Remove(s.blobFile(victim))
+		s.evictions.Add(1)
+	}
+}
+
+// Len returns the number of spilled payloads.
+func (s *BlobSpill) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the disk occupancy of the tier.
+func (s *BlobSpill) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Writes, Hits, Misses, Evictions, and Corrupt expose the tier's counters.
+func (s *BlobSpill) Writes() int64    { return s.writes.Load() }
+func (s *BlobSpill) Hits() int64      { return s.hits.Load() }
+func (s *BlobSpill) Misses() int64    { return s.misses.Load() }
+func (s *BlobSpill) Evictions() int64 { return s.evictions.Load() }
+func (s *BlobSpill) Corrupt() int64   { return s.corrupt.Load() }

@@ -1,0 +1,129 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBlobSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, keys, err := OpenBlobSpill(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("fresh dir reported keys %v", keys)
+	}
+	payload := []byte{1, 2, 3, 0xff, 0}
+	if err := s.Put("abc-idx", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("abc-idx")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %v, %v; want %v", got, ok, payload)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	if s.Misses() != 1 || s.Hits() != 1 || s.Writes() != 1 {
+		t.Fatalf("counters writes=%d hits=%d misses=%d", s.Writes(), s.Hits(), s.Misses())
+	}
+
+	// Reopen: the payload survives the restart and is re-announced.
+	s2, keys, err := OpenBlobSpill(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "abc-idx" {
+		t.Fatalf("reopen keys = %v", keys)
+	}
+	got, ok = s2.Get("abc-idx")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened Get = %v, %v", got, ok)
+	}
+
+	s2.Remove("abc-idx")
+	if _, ok := s2.Get("abc-idx"); ok {
+		t.Fatal("Get after Remove succeeded")
+	}
+	if s2.Len() != 0 || s2.Bytes() != 0 {
+		t.Fatalf("after Remove: len=%d bytes=%d", s2.Len(), s2.Bytes())
+	}
+}
+
+func TestBlobSpillRejectsTornAndCrossWired(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := OpenBlobSpill(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k1", []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k2", []byte("payload-two")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear k1's tail: the CRC must reject it at Get and delete the file.
+	path := filepath.Join(dir, "k1.blob")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("torn blob served")
+	}
+	if s.Corrupt() == 0 {
+		t.Fatal("torn blob not counted corrupt")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("torn blob file not deleted")
+	}
+
+	// Cross-wire k2 by renaming it: the embedded key must reject it.
+	if err := os.Rename(filepath.Join(dir, "k2.blob"), filepath.Join(dir, "k9.blob")); err != nil {
+		t.Fatal(err)
+	}
+	s2, keys, err := OpenBlobSpill(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("cross-wired blob accepted at open: %v", keys)
+	}
+	if s2.Corrupt() == 0 {
+		t.Fatal("cross-wired blob not counted corrupt")
+	}
+}
+
+func TestBlobSpillBudgetEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	payload := make([]byte, 100)
+	// Room for roughly two records under the budget.
+	s, _, err := OpenBlobSpill(dir, 280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Evictions() == 0 {
+		t.Fatal("no evictions under budget pressure")
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := s.Get("c"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if s.Bytes() > 280 {
+		t.Fatalf("bytes %d over budget", s.Bytes())
+	}
+}

@@ -36,6 +36,7 @@ const (
 	fileKindWAL      = 'W'
 	fileKindSnapshot = 'S'
 	fileKindResult   = 'R'
+	fileKindBlob     = 'B'
 )
 
 var fileMagic = [4]byte{'B', 'C', 'D', 'U'}
@@ -46,6 +47,7 @@ const (
 	recGraphRemove = 2 // payload: fingerprint string
 	recResult      = 3 // payload: result record (key, edge labels, JSON view)
 	recSnapEnd     = 4 // payload: u32 count of graph records; snapshot trailer
+	recBlob        = 5 // payload: blob record (key string, opaque bytes)
 )
 
 // frameHeaderLen is the per-record frame: kind byte, payload length, and

@@ -11,6 +11,7 @@ import (
 	"bicc"
 	"bicc/internal/faults"
 	"bicc/internal/par"
+	"bicc/internal/shard"
 )
 
 // matrixGraph is a deterministic ~400-vertex graph with several blocks:
@@ -119,6 +120,74 @@ func TestFaultMatrix(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestFaultMatrixShardBuild extends the matrix past the engines to the
+// shard layer's build site: for every fault kind and every algorithm's
+// decomposition, a faulted BuildSet must return a typed error and no
+// partial state, and an absorbed fault (pure delay) must still produce
+// shard state that answers identically to the monolithic block-cut tree.
+// Importing the shard package also adds shard.build to Sites(), so the
+// engine matrices above cover it (vacuously — engines never shard).
+func TestFaultMatrixShardBuild(t *testing.T) {
+	defer faults.Deactivate()
+	g := matrixGraph(t)
+	algos := []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter}
+	kinds := []faults.Kind{faults.KindPanic, faults.KindDelay, faults.KindCancel}
+	for _, algo := range algos {
+		res, err := bicc.BiconnectedComponentsCtx(context.Background(), g,
+			&bicc.Options{Algorithm: algo, Procs: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for _, kind := range kinds {
+			t.Run(kind.String()+"/"+algo.String(), func(t *testing.T) {
+				r := faults.NewRule(kind, shard.SiteBuild)
+				switch kind {
+				case faults.KindPanic, faults.KindCancel:
+					// Fire mid-build so half-built shards exist to discard.
+					r.Iter = res.NumComponents / 2
+					r.Count = 1
+				case faults.KindDelay:
+					r.Count = 3
+					r.Delay = time.Millisecond
+				}
+				faults.Activate(&faults.Plan{Seed: 1, Rules: []*faults.Rule{r}})
+				defer faults.Deactivate()
+
+				set, err := shard.BuildSet(context.Background(), "matrix-fp", g, res)
+				faults.Deactivate()
+				switch kind {
+				case faults.KindPanic:
+					if set != nil || err == nil {
+						t.Fatalf("faulted build returned set=%v err=%v, want nil set + typed error", set, err)
+					}
+					var pe *par.PanicError
+					var ip *faults.InjectedPanic
+					if !errors.As(err, &pe) || !errors.As(err, &ip) {
+						t.Fatalf("panic not contained as typed error: %T: %v", err, err)
+					}
+				case faults.KindCancel:
+					if set != nil || !errors.Is(err, faults.ErrInjected) {
+						t.Fatalf("canceled build returned set=%v err=%v, want nil set + ErrInjected", set, err)
+					}
+				case faults.KindDelay:
+					if err != nil {
+						t.Fatalf("a pure delay must not fail the build: %v", err)
+					}
+					tree := res.BlockCutTree()
+					if got, want := len(set.CutVertices()), len(tree.CutVertices()); got != want {
+						t.Fatalf("delayed build corrupted state: %d cuts, want %d", got, want)
+					}
+					for b := int32(0); b < int32(set.NumBlocks); b++ {
+						if len(set.Shards[b].Vertices) != len(tree.VerticesOfBlock(b)) {
+							t.Fatalf("delayed build corrupted block %d", b)
+						}
+					}
+				}
+			})
 		}
 	}
 }

@@ -151,6 +151,9 @@ type Server struct {
 	// dur is the durable state when EnableDurability has been called, nil
 	// otherwise; the disabled path costs one atomic load per touch point.
 	dur atomic.Pointer[durability]
+	// shards is the shard-by-component query state when EnableSharding has
+	// been called, nil otherwise — the same zero-cost-off discipline as dur.
+	shards atomic.Pointer[shardState]
 }
 
 // New returns a Server with the given configuration.
@@ -233,6 +236,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs/{fp}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{fp}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /v1/bcc", s.handleBCC)
+	mux.HandleFunc("GET /v1/block/{id}", s.handleBlock)
+	mux.HandleFunc("GET /v1/vertex/{v}/blocks", s.handleVertexBlocks)
+	mux.HandleFunc("GET /v1/vertex/{v}/articulation", s.handleVertexArticulation)
 	return PanicRecovery(s.drainGate(mux), func() { s.stats.HandlerPanics.Add(1) })
 }
 
@@ -477,6 +483,13 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no graph %q", fp)
 		return
 	}
+	// Shard state is derived from the graph; an explicit delete drops every
+	// decomposition's shards along with it. (Space evictions don't: the
+	// state is content-addressed, so it is still valid if the graph comes
+	// back, and the budget already bounds what it can hold.)
+	if sh := s.shards.Load(); sh != nil {
+		sh.mgr.RemovePrefix(fp + "-")
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -617,34 +630,27 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// compute admits and runs one engine computation, then derives every
-// cacheable view the include set asks for. It is the fault-isolation
-// boundary of the service: the circuit breaker decides whether the parallel
-// path may be used at all, the engine runs under the sequential-fallback
-// policy, and outcomes feed the breaker and the fault counters.
-func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm, procs int, include map[string]bool) (*queryResult, error) {
-	// Every computation is traced: admission wait, each engine attempt, and
-	// the pipeline phases inside it. The trace rides the cached result and
-	// is serialized only for ?trace=1 requests.
-	tr := obs.NewTrace()
-	ctx, root := obs.StartSpan(obs.ContextWithTrace(ctx, tr), "bcc")
-	defer root.End()
-
-	adm := root.Child("admission")
+// runEngine admits and runs one engine computation under the circuit
+// breaker and the sequential-fallback policy, recording the fault-isolation
+// stats. It is the shared trunk of the monolithic /v1/bcc path and the
+// shard-build path: both must see identical breaker, fallback, and
+// accounting behaviour. routedCause is non-empty when an open breaker
+// redirected the request to the sequential engine.
+func (s *Server) runEngine(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm, procs int) (res *bicc.Result, elapsed time.Duration, routedCause string, err error) {
+	_, adm := obs.StartSpan(ctx, "admission")
 	release, err := s.admission.Acquire(ctx)
 	adm.End()
 	if err != nil {
-		return nil, err
+		return nil, 0, "", err
 	}
 	defer release()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, "", err
 	}
 	s.stats.Computations.Add(1)
 
 	runAlgo := algo
 	br := s.breakers[algo.String()]
-	var routedCause string
 	if br != nil && !br.Allow() {
 		// The breaker is open: don't burn workers on a path that keeps
 		// faulting, answer from the sequential engine instead.
@@ -660,8 +666,8 @@ func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm
 	}
 
 	start := time.Now()
-	res, err := s.safeCompute(ctx, g, opt)
-	elapsed := time.Since(start)
+	res, err = s.safeCompute(ctx, g, opt)
+	elapsed = time.Since(start)
 
 	// Breaker accounting: caller-side cancellation says nothing about engine
 	// health and is not recorded; everything else (clean, error, panic,
@@ -674,7 +680,7 @@ func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm
 		s.stats.EnginePanics.Add(1)
 	}
 	if err != nil {
-		return nil, err
+		return nil, elapsed, routedCause, err
 	}
 	if res.Degraded {
 		s.stats.Fallbacks.Add(1)
@@ -684,6 +690,26 @@ func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm
 	}
 	if h := s.stats.perAlgorithm[res.Algorithm.String()]; h != nil {
 		h.Observe(elapsed)
+	}
+	return res, elapsed, routedCause, nil
+}
+
+// compute admits and runs one engine computation, then derives every
+// cacheable view the include set asks for. It is the fault-isolation
+// boundary of the service: the circuit breaker decides whether the parallel
+// path may be used at all, the engine runs under the sequential-fallback
+// policy, and outcomes feed the breaker and the fault counters.
+func (s *Server) compute(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm, procs int, include map[string]bool) (*queryResult, error) {
+	// Every computation is traced: admission wait, each engine attempt, and
+	// the pipeline phases inside it. The trace rides the cached result and
+	// is serialized only for ?trace=1 requests.
+	tr := obs.NewTrace()
+	ctx, root := obs.StartSpan(obs.ContextWithTrace(ctx, tr), "bcc")
+	defer root.End()
+
+	res, elapsed, routedCause, err := s.runEngine(ctx, g, algo, procs)
+	if err != nil {
+		return nil, err
 	}
 	cuts := res.ArticulationPoints()
 	bridges := res.Bridges()
@@ -817,6 +843,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	if d := s.dur.Load(); d != nil {
 		snap.Durability = d.snapshot(s.cache)
+	}
+	if st := s.shards.Load(); st != nil {
+		snap.Sharding = st.snapshot()
 	}
 	return snap
 }

@@ -89,6 +89,9 @@ type StatsSnapshot struct {
 	// Durability is present only when the daemon runs with a data
 	// directory; a diskless bccd's /statsz is unchanged.
 	Durability *DurabilitySnapshot `json:"durability,omitempty"`
+	// Sharding is present only when EnableSharding has been called; a
+	// non-sharded bccd's /statsz is unchanged.
+	Sharding *ShardingSnapshot `json:"sharding,omitempty"`
 }
 
 // BreakerSnapshot is one algorithm's circuit-breaker state on /statsz.

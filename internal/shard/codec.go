@@ -1,0 +1,321 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"bicc/internal/graph"
+)
+
+// Binary codecs for spilled shard state. Two payloads exist: the routing
+// index (vertex→block CSR plus set identity) and one shard's block state.
+// Both live inside the durable spill tier's CRC-framed files, but — like
+// every decoder in internal/durable — the decoders here trust nothing: no
+// length field is believed beyond the bytes actually present, every
+// structural invariant is re-checked, and arbitrary input can never panic
+// or over-allocate. Successful decodes are exact fixed points: re-encoding
+// reproduces the input byte for byte (the fuzz targets assert this).
+
+const codecVersion = 1
+
+// ErrCodec reports a structurally invalid shard payload.
+var ErrCodec = errors.New("shard: corrupt payload")
+
+// --- primitive cursor ------------------------------------------------------
+
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) u8() (byte, bool) {
+	if r.off+1 > len(r.b) {
+		return 0, false
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, true
+}
+
+func (r *byteReader) u32() (uint32, bool) {
+	if r.off+4 > len(r.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, true
+}
+
+func (r *byteReader) u64() (uint64, bool) {
+	if r.off+8 > len(r.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, true
+}
+
+func (r *byteReader) bytes(n int) ([]byte, bool) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, false
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, true
+}
+
+// i32s reads n little-endian int32 values. The remaining-bytes check comes
+// before the allocation, so a corrupt count cannot drive a huge make.
+// Zero-length arrays decode to nil, preserving the nil-ness the builders
+// produce (JSON equality between paths depends on it).
+func (r *byteReader) i32s(n uint32) ([]int32, bool) {
+	if uint64(n)*4 > uint64(len(r.b)-r.off) {
+		return nil, false
+	}
+	if n == 0 {
+		return nil, true
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
+	}
+	return out, true
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendI32s(b []byte, vs []int32) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU32(b, uint32(v))
+	}
+	return b
+}
+
+// --- routing index ---------------------------------------------------------
+
+// EncodeIndex renders the routing index of a Set (shards excluded):
+//
+//	[ver:1][fpLen:u8][fp][algoLen:u8][algo][n:u32][numBlocks:u32]
+//	[offsets: (n+1)×u32][blocks: offsets[n]×u32]
+func EncodeIndex(s *Set) []byte {
+	fp, algo := s.FP, s.Algorithm
+	if len(fp) > 255 {
+		fp = fp[:255]
+	}
+	if len(algo) > 255 {
+		algo = algo[:255]
+	}
+	buf := make([]byte, 0, 11+len(fp)+len(algo)+4*(len(s.offsets)+len(s.blocks)))
+	buf = append(buf, codecVersion)
+	buf = append(buf, byte(len(fp)))
+	buf = append(buf, fp...)
+	buf = append(buf, byte(len(algo)))
+	buf = append(buf, algo...)
+	buf = appendU32(buf, uint32(s.N))
+	buf = appendU32(buf, uint32(s.NumBlocks))
+	for _, o := range s.offsets {
+		buf = appendU32(buf, uint32(o))
+	}
+	for _, b := range s.blocks {
+		buf = appendU32(buf, uint32(b))
+	}
+	return buf
+}
+
+// DecodeIndex parses an EncodeIndex payload back into a Set with no shards
+// resident. Beyond framing, it re-checks every structural invariant of a
+// real routing index: monotone offsets, block ids in range, and each
+// vertex's block list strictly ascending.
+func DecodeIndex(b []byte) (*Set, error) {
+	r := byteReader{b: b}
+	ver, ok := r.u8()
+	if !ok || ver != codecVersion {
+		return nil, fmt.Errorf("%w: index version", ErrCodec)
+	}
+	fpLen, ok := r.u8()
+	if !ok {
+		return nil, fmt.Errorf("%w: index fp length", ErrCodec)
+	}
+	fp, ok := r.bytes(int(fpLen))
+	if !ok {
+		return nil, fmt.Errorf("%w: index fp", ErrCodec)
+	}
+	algoLen, ok := r.u8()
+	if !ok {
+		return nil, fmt.Errorf("%w: index algorithm length", ErrCodec)
+	}
+	algo, ok := r.bytes(int(algoLen))
+	if !ok {
+		return nil, fmt.Errorf("%w: index algorithm", ErrCodec)
+	}
+	n, ok := r.u32()
+	if !ok || n >= 1<<31 {
+		return nil, fmt.Errorf("%w: index vertex count", ErrCodec)
+	}
+	nb, ok := r.u32()
+	if !ok || nb >= 1<<31 {
+		return nil, fmt.Errorf("%w: index block count", ErrCodec)
+	}
+	offsets, ok := r.i32s(n + 1)
+	if !ok {
+		return nil, fmt.Errorf("%w: index offsets", ErrCodec)
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("%w: index offsets origin", ErrCodec)
+	}
+	for v := 0; v < int(n); v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("%w: index offsets not monotone", ErrCodec)
+		}
+	}
+	blocks, ok := r.i32s(uint32(offsets[n]))
+	if !ok {
+		return nil, fmt.Errorf("%w: index blocks", ErrCodec)
+	}
+	for v := 0; v < int(n); v++ {
+		for i := offsets[v]; i < offsets[v+1]; i++ {
+			if blocks[i] < 0 || int(blocks[i]) >= int(nb) {
+				return nil, fmt.Errorf("%w: index block id out of range", ErrCodec)
+			}
+			if i > offsets[v] && blocks[i] <= blocks[i-1] {
+				return nil, fmt.Errorf("%w: index block list not ascending", ErrCodec)
+			}
+		}
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: index trailing bytes", ErrCodec)
+	}
+	s := &Set{
+		FP:        string(fp),
+		Algorithm: string(algo),
+		N:         int32(n),
+		NumBlocks: int(nb),
+		offsets:   offsets,
+		blocks:    blocks,
+	}
+	s.BuildHash = hashIndex(s.FP, s.N, s.NumBlocks, offsets, blocks)
+	return s, nil
+}
+
+// --- shard -----------------------------------------------------------------
+
+// EncodeShard renders one block's state, stamped with the owning set's
+// BuildHash so promotion can reject shards from a stale build:
+//
+//	[ver:1][block:u32][hash:u64]
+//	[nVerts:u32][verts][nCuts:u32][cuts]
+//	[subN:u32][m:u32][edges: 2m×u32]
+//	[vmLen:u32][vm][emLen:u32][em]
+func EncodeShard(sh *Shard, hash uint64) []byte {
+	size := 13 + 4*(4+len(sh.Vertices)+len(sh.Cuts)+len(sh.VertexMap)+len(sh.EdgeMap)) +
+		8*len(sh.Sub.Edges) + 4
+	buf := make([]byte, 0, size)
+	buf = append(buf, codecVersion)
+	buf = appendU32(buf, uint32(sh.Block))
+	buf = binary.LittleEndian.AppendUint64(buf, hash)
+	buf = appendI32s(buf, sh.Vertices)
+	buf = appendI32s(buf, sh.Cuts)
+	buf = appendU32(buf, uint32(sh.Sub.N))
+	buf = appendU32(buf, uint32(len(sh.Sub.Edges)))
+	for _, e := range sh.Sub.Edges {
+		buf = appendU32(buf, uint32(e.U))
+		buf = appendU32(buf, uint32(e.V))
+	}
+	buf = appendI32s(buf, sh.VertexMap)
+	buf = appendI32s(buf, sh.EdgeMap)
+	return buf
+}
+
+// DecodeShard parses an EncodeShard payload, returning the shard and the
+// build hash it was stamped with. Structural invariants of a real shard are
+// re-checked: ascending vertex and cut lists, compact edge endpoints in
+// range, and vertex/edge maps sized exactly to the subgraph.
+func DecodeShard(b []byte) (*Shard, uint64, error) {
+	r := byteReader{b: b}
+	ver, ok := r.u8()
+	if !ok || ver != codecVersion {
+		return nil, 0, fmt.Errorf("%w: shard version", ErrCodec)
+	}
+	block, ok := r.u32()
+	if !ok || block >= 1<<31 {
+		return nil, 0, fmt.Errorf("%w: shard block id", ErrCodec)
+	}
+	hash, ok := r.u64()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: shard hash", ErrCodec)
+	}
+	readList := func(what string, ascending bool) ([]int32, error) {
+		n, ok := r.u32()
+		if !ok {
+			return nil, fmt.Errorf("%w: shard %s length", ErrCodec, what)
+		}
+		vs, ok := r.i32s(n)
+		if !ok {
+			return nil, fmt.Errorf("%w: shard %s", ErrCodec, what)
+		}
+		for i, v := range vs {
+			if v < 0 || (ascending && i > 0 && v <= vs[i-1]) {
+				return nil, fmt.Errorf("%w: shard %s not ascending", ErrCodec, what)
+			}
+		}
+		return vs, nil
+	}
+	verts, err := readList("vertices", true)
+	if err != nil {
+		return nil, 0, err
+	}
+	cuts, err := readList("cuts", true)
+	if err != nil {
+		return nil, 0, err
+	}
+	subN, ok := r.u32()
+	if !ok || subN >= 1<<31 {
+		return nil, 0, fmt.Errorf("%w: shard subgraph size", ErrCodec)
+	}
+	m, ok := r.u32()
+	if !ok || m >= 1<<30 {
+		return nil, 0, fmt.Errorf("%w: shard edge count", ErrCodec)
+	}
+	raw, ok := r.i32s(2 * m)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: shard edges", ErrCodec)
+	}
+	sub := &graph.EdgeList{N: int32(subN)}
+	if m > 0 {
+		sub.Edges = make([]graph.Edge, m)
+	}
+	for i := uint32(0); i < m; i++ {
+		u, v := raw[2*i], raw[2*i+1]
+		if u < 0 || v < 0 || u >= int32(subN) || v >= int32(subN) {
+			return nil, 0, fmt.Errorf("%w: shard edge endpoint out of range", ErrCodec)
+		}
+		sub.Edges[i] = graph.Edge{U: u, V: v}
+	}
+	vm, err := readList("vertex map", false)
+	if err != nil {
+		return nil, 0, err
+	}
+	em, err := readList("edge map", false)
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint32(len(vm)) != subN || uint32(len(em)) != m {
+		return nil, 0, fmt.Errorf("%w: shard map sizes", ErrCodec)
+	}
+	if r.off != len(b) {
+		return nil, 0, fmt.Errorf("%w: shard trailing bytes", ErrCodec)
+	}
+	return &Shard{
+		Block:     int32(block),
+		Vertices:  verts,
+		Cuts:      cuts,
+		Sub:       sub,
+		VertexMap: vm,
+		EdgeMap:   em,
+	}, hash, nil
+}

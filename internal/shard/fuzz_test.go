@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"bicc"
+)
+
+// fuzzSeedSet builds a small real set (triangle + bridge + pendant star) so
+// the corpora start from structurally valid payloads.
+func fuzzSeedSet() *Set {
+	g, err := bicc.NewGraph(6, []bicc.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 3, V: 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := bicc.BiconnectedComponents(g, &bicc.Options{Algorithm: bicc.Sequential})
+	if err != nil {
+		panic(err)
+	}
+	set, err := BuildSet(context.Background(), "seed-fp", g, res)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// FuzzDecodeIndex drives the routing-index decoder with arbitrary bytes.
+// Invariants: never panic, never over-allocate past the input, and every
+// accepted payload is an exact re-encode fixed point — so nothing the
+// decoder conjures can differ from what a real encoder wrote.
+func FuzzDecodeIndex(f *testing.F) {
+	set := fuzzSeedSet()
+	valid := EncodeIndex(set)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	f.Add([]byte{})
+	f.Add([]byte{codecVersion})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeIndex(b)
+		if err != nil {
+			return
+		}
+		// Structural postconditions of an accepted index.
+		if s.N < 0 || s.NumBlocks < 0 || len(s.offsets) != int(s.N)+1 {
+			t.Fatalf("accepted index with N=%d blocks=%d offsets=%d", s.N, s.NumBlocks, len(s.offsets))
+		}
+		for v := int32(0); v < s.N; v++ {
+			for i, bl := range s.BlocksOfVertex(v) {
+				if bl < 0 || int(bl) >= s.NumBlocks {
+					t.Fatalf("vertex %d block %d out of range", v, bl)
+				}
+				_ = i
+			}
+		}
+		if re := EncodeIndex(s); !bytes.Equal(re, b) {
+			t.Fatalf("re-encode differs:\n in  %x\n out %x", b, re)
+		}
+	})
+}
+
+// FuzzDecodeShard drives the per-block payload decoder the same way: no
+// panics, structural postconditions hold, accepted payloads re-encode
+// byte-identically (with the hash the decoder reported).
+func FuzzDecodeShard(f *testing.F) {
+	set := fuzzSeedSet()
+	for _, sh := range set.Shards {
+		f.Add(EncodeShard(sh, set.BuildHash))
+	}
+	valid := EncodeShard(set.Shards[0], set.BuildHash)
+	f.Add(valid[:len(valid)-2]) // torn tail
+	f.Add([]byte{})
+	f.Add([]byte{codecVersion, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sh, hash, err := DecodeShard(b)
+		if err != nil {
+			return
+		}
+		if sh.Sub == nil || len(sh.VertexMap) != int(sh.Sub.N) || len(sh.EdgeMap) != len(sh.Sub.Edges) {
+			t.Fatalf("accepted shard with inconsistent maps: vm=%d n=%d em=%d m=%d",
+				len(sh.VertexMap), sh.Sub.N, len(sh.EdgeMap), len(sh.Sub.Edges))
+		}
+		for _, e := range sh.Sub.Edges {
+			if e.U < 0 || e.V < 0 || e.U >= sh.Sub.N || e.V >= sh.Sub.N {
+				t.Fatalf("accepted shard with edge (%d,%d) outside [0,%d)", e.U, e.V, sh.Sub.N)
+			}
+		}
+		if re := EncodeShard(sh, hash); !bytes.Equal(re, b) {
+			t.Fatalf("re-encode differs:\n in  %x\n out %x", b, re)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bicc"
+)
+
+// Property-based block-cut invariants over noisy random graphs. Inputs are
+// raw edge multisets with self loops and duplicates, normalized the way the
+// service normalizes dirty uploads; the invariants must hold for whatever
+// decomposition the engine produced.
+
+// noisyGraph builds a random graph with deliberate self loops and parallel
+// edges, normalized away by NewGraphNormalized.
+func noisyGraph(seed int64, nn, mm uint8) (*bicc.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(nn%48) + 2
+	m := int(mm) % (3 * n)
+	edges := make([]bicc.Edge, 0, m+2)
+	for i := 0; i < m; i++ {
+		edges = append(edges, bicc.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	// Guarantee at least one self loop and one duplicate survive into the
+	// raw input so normalization is always exercised.
+	edges = append(edges, bicc.Edge{U: 0, V: 0})
+	if len(edges) > 1 {
+		edges = append(edges, edges[0])
+	}
+	g, _, _, err := bicc.NewGraphNormalized(n, edges)
+	return g, err
+}
+
+// checkInvariants asserts the block-cut structure invariants on a built set.
+func checkInvariants(t *testing.T, g *bicc.Graph, res *bicc.Result, set *Set) bool {
+	t.Helper()
+	n := int32(g.NumVertices())
+	tree := res.BlockCutTree()
+
+	// Invariant 1: every edge belongs to exactly one block — the shards'
+	// edge maps partition [0, m).
+	edgeSeen := make([]int, g.NumEdges())
+	for _, sh := range set.Shards {
+		for _, i := range sh.EdgeMap {
+			if i < 0 || int(i) >= len(edgeSeen) {
+				t.Logf("edge index %d out of range", i)
+				return false
+			}
+			edgeSeen[i]++
+		}
+	}
+	for i, c := range edgeSeen {
+		if c != 1 {
+			t.Logf("edge %d appears in %d blocks, want exactly 1", i, c)
+			return false
+		}
+	}
+
+	// Invariant 2: a block's cut vertices are a subset of its vertices.
+	for _, sh := range set.Shards {
+		members := map[int32]bool{}
+		for _, v := range sh.Vertices {
+			members[v] = true
+		}
+		for _, c := range sh.Cuts {
+			if !members[c] {
+				t.Logf("block %d cut %d not among its vertices", sh.Block, c)
+				return false
+			}
+		}
+		// Membership is two-sided: v is in the block iff the routing index
+		// sends v to the block.
+		for _, v := range sh.Vertices {
+			found := false
+			for _, b := range set.BlocksOfVertex(v) {
+				if b == sh.Block {
+					found = true
+				}
+			}
+			if !found {
+				t.Logf("vertex %d in block %d but index disagrees", v, sh.Block)
+				return false
+			}
+		}
+	}
+
+	// Invariant 3: a vertex is a cut vertex exactly when it lies in two or
+	// more blocks, and the enumeration agrees with the monolith.
+	cutSet := map[int32]bool{}
+	for _, c := range tree.CutVertices() {
+		cutSet[c] = true
+	}
+	for v := int32(0); v < n; v++ {
+		inTwo := len(set.BlocksOfVertex(v)) >= 2
+		if set.IsCut(v) != inTwo || cutSet[v] != inTwo {
+			t.Logf("vertex %d: IsCut=%v, |blocks|>=2 is %v, monolith cut=%v",
+				v, set.IsCut(v), inTwo, cutSet[v])
+			return false
+		}
+	}
+
+	// Invariant 4: leaf blocks have at most one cut vertex, and LeafBlocks
+	// is exactly the set of blocks with <= 1 cut.
+	leaf := map[int32]bool{}
+	for _, b := range tree.LeafBlocks() {
+		leaf[b] = true
+	}
+	for _, sh := range set.Shards {
+		if leaf[sh.Block] != (len(sh.Cuts) <= 1) {
+			t.Logf("block %d: leaf=%v but has %d cuts", sh.Block, leaf[sh.Block], len(sh.Cuts))
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickBlockCutInvariants drives the invariants over quick-generated
+// noisy inputs under the Auto engine.
+func TestQuickBlockCutInvariants(t *testing.T) {
+	f := func(seed int64, nn, mm uint8) bool {
+		g, err := noisyGraph(seed, nn, mm)
+		if err != nil {
+			return false
+		}
+		res, err := bicc.BiconnectedComponents(g, &bicc.Options{Procs: 2})
+		if err != nil {
+			return false
+		}
+		set, err := BuildSet(context.Background(), "quick", g, res)
+		if err != nil {
+			return false
+		}
+		return checkInvariants(t, g, res, set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInvariantsAllAlgorithms spot-checks the same invariants under
+// every engine on a smaller sample — block numbering differs between
+// engines, the invariants must not.
+func TestQuickInvariantsAllAlgorithms(t *testing.T) {
+	for _, algo := range diffAlgorithms {
+		algo := algo
+		f := func(seed int64, nn, mm uint8) bool {
+			g, err := noisyGraph(seed, nn, mm)
+			if err != nil {
+				return false
+			}
+			res, err := bicc.BiconnectedComponents(g, &bicc.Options{Algorithm: algo, Procs: 2})
+			if err != nil {
+				return false
+			}
+			set, err := BuildSet(context.Background(), "quick", g, res)
+			if err != nil {
+				return false
+			}
+			return checkInvariants(t, g, res, set)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Errorf("%v: %v", algo, err)
+		}
+	}
+}

@@ -1,0 +1,451 @@
+package shard
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"bicc/internal/par"
+)
+
+// SpillTier is the disk level the Manager demotes to. The service adapts
+// the durable spill tier to this interface; tests use in-memory fakes.
+// Implementations must be safe for concurrent use.
+type SpillTier interface {
+	PutIndex(fp string, payload []byte) error
+	GetIndex(fp string) ([]byte, bool)
+	RemoveIndex(fp string)
+	PutShard(fp string, block int32, payload []byte) error
+	GetShard(fp string, block int32) ([]byte, bool)
+	RemoveShard(fp string, block int32)
+}
+
+// Manager owns shard-set residency: single-flight construction keyed by
+// graph fingerprint, a byte budget over all resident shards with LRU
+// demotion to the spill tier, promotion with build-hash integrity checks,
+// and whole-set invalidation when spilled state cannot be trusted.
+//
+// Failed builds are never retained — a query that arrives after a faulted
+// build triggers a fresh one. Routing indexes always stay resident (they
+// are the part of a Set that cannot be rebuilt per-query); only shard
+// payloads demote.
+type Manager struct {
+	mu      sync.Mutex
+	budget  int64 // resident-byte budget; <= 0 means unlimited
+	bytes   int64
+	sets    map[string]*setState
+	flights map[string]*flight
+	lru     *list.List // of shardRef, front = most recently used
+	spill   SpillTier
+
+	builds       atomic.Int64
+	buildFails   atomic.Int64
+	recovered    atomic.Int64
+	demotions    atomic.Int64
+	promotions   atomic.Int64
+	promoteFails atomic.Int64
+	invalidated  atomic.Int64
+}
+
+type shardRef struct {
+	fp    string
+	block int32
+}
+
+// setState is a Set plus the Manager's residency bookkeeping for it.
+// resident[b] is nil while block b lives only in the spill tier.
+type setState struct {
+	set      *Set
+	resident []*Shard
+	elems    []*list.Element
+	bytes    int64
+}
+
+type flight struct {
+	done chan struct{}
+	set  *Set
+	err  error
+}
+
+// NewManager returns a Manager with the given resident-byte budget
+// (<= 0 means unlimited).
+func NewManager(budget int64) *Manager {
+	return &Manager{
+		budget:  budget,
+		sets:    map[string]*setState{},
+		flights: map[string]*flight{},
+		lru:     list.New(),
+	}
+}
+
+// SetSpill attaches (or, with nil, detaches) the disk tier. With no tier,
+// budget pressure drops whole sets instead of demoting shards, and any set
+// holding demoted shards self-invalidates at the next access.
+func (m *Manager) SetSpill(sp SpillTier) {
+	m.mu.Lock()
+	m.spill = sp
+	m.mu.Unlock()
+}
+
+// Do returns the shard set for fp, building it at most once no matter how
+// many callers arrive concurrently (errors are not cached — the next caller
+// retries). Before building it tries to recover a spilled routing index
+// written by a previous run. The build callback's error is returned to
+// every coalesced waiter verbatim.
+func (m *Manager) Do(ctx context.Context, fp string, build func(ctx context.Context) (*Set, error)) (*Set, error) {
+	for {
+		m.mu.Lock()
+		if st, ok := m.sets[fp]; ok {
+			set := st.set
+			m.mu.Unlock()
+			return set, nil
+		}
+		if fl, ok := m.flights[fp]; ok {
+			m.mu.Unlock()
+			select {
+			case <-fl.done:
+				if fl.err != nil {
+					return nil, fl.err
+				}
+				// Loop: the set was installed before done closed, so the
+				// next pass returns it (or finds it already invalidated and
+				// rebuilds).
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		fl := &flight{done: make(chan struct{})}
+		m.flights[fp] = fl
+		m.mu.Unlock()
+
+		set, err := m.recoverOrBuild(ctx, fp, build)
+		var shards []*Shard
+		m.mu.Lock()
+		delete(m.flights, fp)
+		if err == nil {
+			shards = set.Shards
+			m.installLocked(fp, set)
+		}
+		m.mu.Unlock()
+		fl.set, fl.err = set, err
+		close(fl.done)
+		if err != nil {
+			return nil, err
+		}
+		m.writeThrough(set, shards)
+		return set, nil
+	}
+}
+
+// recoverOrBuild tries the spilled routing index first, then runs the
+// caller's build with a recover of last resort (an escaped panic would
+// strand every coalesced waiter on the flight).
+func (m *Manager) recoverOrBuild(ctx context.Context, fp string, build func(ctx context.Context) (*Set, error)) (*Set, error) {
+	m.mu.Lock()
+	sp := m.spill
+	m.mu.Unlock()
+	if sp != nil {
+		if payload, ok := sp.GetIndex(fp); ok {
+			if set, err := DecodeIndex(payload); err == nil && set.FP == fp {
+				m.recovered.Add(1)
+				return set, nil
+			}
+			// Undecodable or cross-wired: drop it so the rebuild below
+			// replaces it rather than fighting it forever.
+			sp.RemoveIndex(fp)
+		}
+	}
+	set, err := m.runBuild(ctx, build)
+	if err != nil {
+		m.buildFails.Add(1)
+		return nil, err
+	}
+	if set == nil || set.FP != fp {
+		m.buildFails.Add(1)
+		return nil, fmt.Errorf("shard: build returned set for %q, want %q", setFP(set), fp)
+	}
+	m.builds.Add(1)
+	return set, nil
+}
+
+func setFP(s *Set) string {
+	if s == nil {
+		return "<nil>"
+	}
+	return s.FP
+}
+
+func (m *Manager) runBuild(ctx context.Context, build func(ctx context.Context) (*Set, error)) (set *Set, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			set, err = nil, par.AsPanicError(-1, v)
+		}
+	}()
+	return build(ctx)
+}
+
+// installLocked adopts a set (fresh from BuildSet, or recovered with no
+// shards resident) into the residency tables and enforces the budget.
+// Caller holds mu.
+func (m *Manager) installLocked(fp string, set *Set) {
+	st := &setState{
+		set:      set,
+		resident: make([]*Shard, set.NumBlocks),
+		elems:    make([]*list.Element, set.NumBlocks),
+		bytes:    set.IndexBytes(),
+	}
+	for i, sh := range set.Shards {
+		st.resident[i] = sh
+		st.elems[i] = m.lru.PushFront(shardRef{fp: fp, block: int32(i)})
+		st.bytes += sh.Bytes()
+	}
+	// Residency is the manager's business from here on; the Set stays a
+	// pure index for everyone holding it.
+	set.Shards = nil
+	m.sets[fp] = st
+	m.bytes += st.bytes
+	m.enforceBudgetLocked(fp, nil)
+}
+
+// writeThrough persists a freshly built set so a restarted process (or a
+// demote-then-promote cycle) can serve it without recomputing. Runs outside
+// mu: shards are immutable and the spill tier has its own lock.
+func (m *Manager) writeThrough(set *Set, shards []*Shard) {
+	m.mu.Lock()
+	sp := m.spill
+	m.mu.Unlock()
+	if sp == nil || shards == nil {
+		return
+	}
+	_ = sp.PutIndex(set.FP, EncodeIndex(set))
+	for _, sh := range shards {
+		_ = sp.PutShard(set.FP, sh.Block, EncodeShard(sh, set.BuildHash))
+	}
+}
+
+// Shard returns block b of fp's set, promoting it from the spill tier when
+// demoted. ok=false means the set was invalidated (stale or unreadable
+// spilled state, or no set at all) — the caller should re-run Do, which
+// rebuilds from scratch.
+func (m *Manager) Shard(fp string, block int32) (*Shard, bool) {
+	m.mu.Lock()
+	st, ok := m.sets[fp]
+	if !ok || block < 0 || int(block) >= st.set.NumBlocks {
+		m.mu.Unlock()
+		return nil, false
+	}
+	if sh := st.resident[block]; sh != nil {
+		m.lru.MoveToFront(st.elems[block])
+		m.mu.Unlock()
+		return sh, true
+	}
+	set := st.set
+	sp := m.spill
+	m.mu.Unlock()
+
+	if sp == nil {
+		// Demoted state with no disk tier is unservable; recompute.
+		m.invalidate(fp, set)
+		return nil, false
+	}
+	payload, ok := sp.GetShard(fp, block)
+	var sh *Shard
+	var hash uint64
+	var err error
+	if ok {
+		sh, hash, err = DecodeShard(payload)
+	}
+	if !ok || err != nil || hash != set.BuildHash || sh.Block != block {
+		// Missing, torn, or from a stale build: recomputing the whole set
+		// beats trusting any of its spilled siblings.
+		m.promoteFails.Add(1)
+		sp.RemoveShard(fp, block)
+		m.invalidate(fp, set)
+		return nil, false
+	}
+	m.promotions.Add(1)
+
+	m.mu.Lock()
+	if st2, ok2 := m.sets[fp]; ok2 && st2.set == set && st2.resident[block] == nil {
+		st2.resident[block] = sh
+		st2.elems[block] = m.lru.PushFront(shardRef{fp: fp, block: block})
+		st2.bytes += sh.Bytes()
+		m.bytes += sh.Bytes()
+		m.enforceBudgetLocked(fp, st2.elems[block])
+	}
+	m.mu.Unlock()
+	return sh, true
+}
+
+// enforceBudgetLocked demotes least-recently-used shards (with a spill
+// tier) or drops whole sets (without one) until the budget is met. keepFP
+// and keepElem protect the state the caller is mid-way through installing.
+// Caller holds mu.
+func (m *Manager) enforceBudgetLocked(keepFP string, keepElem *list.Element) {
+	if m.budget <= 0 {
+		return
+	}
+	for m.bytes > m.budget {
+		back := m.lru.Back()
+		if back == nil || back == keepElem {
+			return
+		}
+		ref := back.Value.(shardRef)
+		if m.spill != nil {
+			m.demoteLocked(ref, back)
+			continue
+		}
+		if ref.fp == keepFP {
+			// Only the set being installed remains; like the graph
+			// registry, the budget may be transiently exceeded rather than
+			// evicting the state the caller is about to use.
+			return
+		}
+		m.removeLocked(ref.fp)
+		m.invalidated.Add(1)
+	}
+}
+
+// demoteLocked writes one shard to the spill tier and drops it from memory.
+// The write happens under mu — the same accepted trade-off as the result
+// cache's demotion path: demotion is rare and the alternative is a
+// half-resident shard visible to concurrent queries. Caller holds mu.
+func (m *Manager) demoteLocked(ref shardRef, elem *list.Element) {
+	st := m.sets[ref.fp]
+	sh := st.resident[ref.block]
+	// Best effort: a failed write means the shard is simply gone from both
+	// tiers, and the next query for it invalidates + rebuilds the set.
+	_ = m.spill.PutShard(ref.fp, ref.block, EncodeShard(sh, st.set.BuildHash))
+	m.lru.Remove(elem)
+	st.resident[ref.block] = nil
+	st.elems[ref.block] = nil
+	st.bytes -= sh.Bytes()
+	m.bytes -= sh.Bytes()
+	m.demotions.Add(1)
+}
+
+// invalidate drops fp's set if it is still the one the caller saw, and
+// removes the spilled index so the next Do rebuilds instead of recovering
+// the same stale state. Spilled shard payloads are left behind: the rebuild
+// overwrites them key for key, and the build hash rejects any stragglers.
+func (m *Manager) invalidate(fp string, set *Set) {
+	m.mu.Lock()
+	st, ok := m.sets[fp]
+	if ok && st.set == set {
+		m.removeLocked(fp)
+		m.invalidated.Add(1)
+	}
+	sp := m.spill
+	m.mu.Unlock()
+	if sp != nil {
+		sp.RemoveIndex(fp)
+	}
+}
+
+// removeLocked unlinks fp's residency state. Caller holds mu.
+func (m *Manager) removeLocked(fp string) {
+	st, ok := m.sets[fp]
+	if !ok {
+		return
+	}
+	for _, e := range st.elems {
+		if e != nil {
+			m.lru.Remove(e)
+		}
+	}
+	m.bytes -= st.bytes
+	delete(m.sets, fp)
+}
+
+// Remove drops all shard state for fp — memory and spilled index — for
+// explicit graph deletion. Spilled shard payloads are removed too.
+func (m *Manager) Remove(fp string) {
+	m.mu.Lock()
+	var numBlocks int
+	if st, ok := m.sets[fp]; ok {
+		numBlocks = st.set.NumBlocks
+		m.removeLocked(fp)
+		m.invalidated.Add(1)
+	}
+	sp := m.spill
+	m.mu.Unlock()
+	if sp == nil {
+		return
+	}
+	sp.RemoveIndex(fp)
+	for b := 0; b < numBlocks; b++ {
+		sp.RemoveShard(fp, int32(b))
+	}
+}
+
+// RemovePrefix drops every resident set whose key starts with prefix, along
+// with its spilled state — the hook for deleting a graph whose decomposition
+// keys (fingerprint-algorithm-procs) all share the fingerprint prefix.
+// Spilled-only sets (index on disk, nothing resident) are left behind: they
+// are content-addressed, so they are either revalidated by a future build of
+// the same graph or rejected by the build hash, never wrongly served.
+func (m *Manager) RemovePrefix(prefix string) {
+	m.mu.Lock()
+	type victim struct {
+		fp        string
+		numBlocks int
+	}
+	var victims []victim
+	for fp, st := range m.sets {
+		if strings.HasPrefix(fp, prefix) {
+			victims = append(victims, victim{fp, st.set.NumBlocks})
+		}
+	}
+	for _, v := range victims {
+		m.removeLocked(v.fp)
+		m.invalidated.Add(1)
+	}
+	sp := m.spill
+	m.mu.Unlock()
+	if sp == nil {
+		return
+	}
+	for _, v := range victims {
+		sp.RemoveIndex(v.fp)
+		for b := 0; b < v.numBlocks; b++ {
+			sp.RemoveShard(v.fp, int32(b))
+		}
+	}
+}
+
+// --- telemetry ---------------------------------------------------------------
+
+// Sets returns the number of resident shard sets.
+func (m *Manager) Sets() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sets)
+}
+
+// ResidentShards returns the number of shards currently held in memory.
+func (m *Manager) ResidentShards() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
+
+// Bytes returns the estimated resident bytes of all sets and shards.
+func (m *Manager) Bytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// Builds, BuildFailures, Recovered, Demotions, Promotions, PromoteFailures,
+// and Invalidations expose the manager's counters.
+func (m *Manager) Builds() int64          { return m.builds.Load() }
+func (m *Manager) BuildFailures() int64   { return m.buildFails.Load() }
+func (m *Manager) Recovered() int64       { return m.recovered.Load() }
+func (m *Manager) Demotions() int64       { return m.demotions.Load() }
+func (m *Manager) Promotions() int64      { return m.promotions.Load() }
+func (m *Manager) PromoteFailures() int64 { return m.promoteFails.Load() }
+func (m *Manager) Invalidations() int64   { return m.invalidated.Load() }

@@ -1,0 +1,435 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bicc"
+	"bicc/internal/gen"
+	"bicc/internal/par"
+)
+
+// fakeSpill is an in-memory SpillTier with hooks for corruption tests.
+type fakeSpill struct {
+	mu      sync.Mutex
+	idx     map[string][]byte
+	shards  map[string][]byte
+	failPut bool
+}
+
+func newFakeSpill() *fakeSpill {
+	return &fakeSpill{idx: map[string][]byte{}, shards: map[string][]byte{}}
+}
+
+func skey(fp string, block int32) string { return fmt.Sprintf("%s/%d", fp, block) }
+
+func (f *fakeSpill) PutIndex(fp string, p []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failPut {
+		return errors.New("fake: put refused")
+	}
+	f.idx[fp] = append([]byte(nil), p...)
+	return nil
+}
+
+func (f *fakeSpill) GetIndex(fp string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.idx[fp]
+	return p, ok
+}
+
+func (f *fakeSpill) RemoveIndex(fp string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.idx, fp)
+}
+
+func (f *fakeSpill) PutShard(fp string, block int32, p []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failPut {
+		return errors.New("fake: put refused")
+	}
+	f.shards[skey(fp, block)] = append([]byte(nil), p...)
+	return nil
+}
+
+func (f *fakeSpill) GetShard(fp string, block int32) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.shards[skey(fp, block)]
+	return p, ok
+}
+
+func (f *fakeSpill) RemoveShard(fp string, block int32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.shards, skey(fp, block))
+}
+
+func (f *fakeSpill) shardCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.shards)
+}
+
+// corruptShard flips a byte in a stored shard payload.
+func (f *fakeSpill) corruptShard(fp string, block int32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.shards[skey(fp, block)]
+	if len(p) > 0 {
+		p[len(p)/2] ^= 0xff
+	}
+}
+
+// buildFor returns a build callback producing fp's set from a caterpillar
+// graph — one block per edge, plenty of shards to demote.
+func buildFor(t *testing.T, fp string) func(context.Context) (*Set, error) {
+	t.Helper()
+	el := gen.Caterpillar(12, 3)
+	g, err := bicc.NewGraph(int(el.N), el.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bicc.BiconnectedComponents(g, &bicc.Options{Algorithm: bicc.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(ctx context.Context) (*Set, error) {
+		return BuildSet(ctx, fp, g, res)
+	}
+}
+
+func TestManagerSingleFlight(t *testing.T) {
+	m := NewManager(0)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	inner := buildFor(t, "g1")
+	build := func(ctx context.Context) (*Set, error) {
+		calls.Add(1)
+		<-gate
+		return inner(ctx)
+	}
+
+	const workers = 16
+	sets := make([]*Set, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := m.Do(context.Background(), "g1", build)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			sets[i] = s
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1", got)
+	}
+	for i := 1; i < workers; i++ {
+		if sets[i] != sets[0] {
+			t.Fatal("coalesced callers got different sets")
+		}
+	}
+	if m.Builds() != 1 || m.Sets() != 1 {
+		t.Fatalf("builds=%d sets=%d", m.Builds(), m.Sets())
+	}
+}
+
+func TestManagerErrorsNotCached(t *testing.T) {
+	m := NewManager(0)
+	var calls atomic.Int64
+	boom := errors.New("transient")
+	inner := buildFor(t, "g1")
+	build := func(ctx context.Context) (*Set, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return inner(ctx)
+	}
+	if _, err := m.Do(context.Background(), "g1", build); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v, want %v", err, boom)
+	}
+	if m.Sets() != 0 || m.ResidentShards() != 0 {
+		t.Fatalf("failed build left state: sets=%d shards=%d", m.Sets(), m.ResidentShards())
+	}
+	if _, err := m.Do(context.Background(), "g1", build); err != nil {
+		t.Fatalf("second Do: %v", err)
+	}
+	if m.BuildFailures() != 1 || m.Builds() != 1 {
+		t.Fatalf("failures=%d builds=%d", m.BuildFailures(), m.Builds())
+	}
+}
+
+func TestManagerPanicContainedAndTyped(t *testing.T) {
+	m := NewManager(0)
+	_, err := m.Do(context.Background(), "g1", func(context.Context) (*Set, error) {
+		panic("shard build exploded")
+	})
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *par.PanicError", err, err)
+	}
+	if m.Sets() != 0 {
+		t.Fatal("panicked build left a set behind")
+	}
+	// The flight must be gone: a retry rebuilds rather than hanging.
+	if _, err := m.Do(context.Background(), "g1", buildFor(t, "g1")); err != nil {
+		t.Fatalf("Do after panic: %v", err)
+	}
+}
+
+func TestManagerCancelMidBuildLeavesNoPartialState(t *testing.T) {
+	m := NewManager(0)
+	sp := newFakeSpill()
+	m.SetSpill(sp)
+	ctx, cancel := context.WithCancel(context.Background())
+	inner := buildFor(t, "g1")
+	build := func(bctx context.Context) (*Set, error) {
+		cancel() // cancel while the build is in flight
+		return inner(bctx)
+	}
+	if _, err := m.Do(ctx, "g1", build); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do err = %v, want context.Canceled", err)
+	}
+	if m.Sets() != 0 || m.ResidentShards() != 0 || m.Bytes() != 0 {
+		t.Fatalf("canceled build left state: sets=%d shards=%d bytes=%d",
+			m.Sets(), m.ResidentShards(), m.Bytes())
+	}
+	if len(sp.idx) != 0 || sp.shardCount() != 0 {
+		t.Fatalf("canceled build wrote to spill: idx=%d shards=%d", len(sp.idx), sp.shardCount())
+	}
+}
+
+func TestManagerDemotesAndPromotes(t *testing.T) {
+	sp := newFakeSpill()
+	m := NewManager(2_000) // far below a full caterpillar set
+	m.SetSpill(sp)
+	set, err := m.Do(context.Background(), "g1", buildFor(t, "g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Demotions() == 0 {
+		t.Fatal("no demotions under budget pressure")
+	}
+	if m.Bytes() > 2_000+set.IndexBytes() {
+		t.Fatalf("resident bytes %d way over budget", m.Bytes())
+	}
+	// Every block must still be servable, demoted or not.
+	for b := int32(0); b < int32(set.NumBlocks); b++ {
+		sh, ok := m.Shard("g1", b)
+		if !ok || sh.Block != b {
+			t.Fatalf("Shard(%d) = %v, %v", b, sh, ok)
+		}
+	}
+	if m.Promotions() == 0 {
+		t.Fatal("no promotions recorded")
+	}
+	if m.Invalidations() != 0 {
+		t.Fatalf("healthy spill caused %d invalidations", m.Invalidations())
+	}
+}
+
+func TestManagerRejectsCorruptSpilledShard(t *testing.T) {
+	sp := newFakeSpill()
+	m := NewManager(2_000)
+	m.SetSpill(sp)
+	set, err := m.Do(context.Background(), "g1", buildFor(t, "g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a demoted block and corrupt its payload.
+	var victim int32 = -1
+	for b := int32(0); b < int32(set.NumBlocks); b++ {
+		if _, ok := sp.GetShard("g1", b); ok {
+			// Promote-resident blocks are fine; pick one not in memory by
+			// trusting the budget to have demoted most of them.
+			victim = b
+		}
+	}
+	if victim < 0 {
+		t.Skip("budget demoted nothing")
+	}
+	// Drop it from memory if resident by corrupting all spilled copies; the
+	// first Shard call that must read disk sees garbage.
+	for b := int32(0); b < int32(set.NumBlocks); b++ {
+		sp.corruptShard("g1", b)
+	}
+	sawInvalidation := false
+	for b := int32(0); b < int32(set.NumBlocks); b++ {
+		if _, ok := m.Shard("g1", b); !ok {
+			sawInvalidation = true
+			break
+		}
+	}
+	if !sawInvalidation {
+		t.Fatal("corrupt spilled shards all served")
+	}
+	if m.PromoteFailures() == 0 || m.Invalidations() == 0 {
+		t.Fatalf("promoteFails=%d invalidations=%d, want both > 0",
+			m.PromoteFailures(), m.Invalidations())
+	}
+	if m.Sets() != 0 {
+		t.Fatal("invalidated set still resident")
+	}
+	// Recovery: the next Do rebuilds from scratch (the spilled index was
+	// dropped with the set).
+	set2, err := m.Do(context.Background(), "g1", buildFor(t, "g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2.NumBlocks != set.NumBlocks {
+		t.Fatalf("rebuilt set has %d blocks, want %d", set2.NumBlocks, set.NumBlocks)
+	}
+}
+
+func TestManagerRecoversFromSpilledIndex(t *testing.T) {
+	sp := newFakeSpill()
+	m := NewManager(0)
+	m.SetSpill(sp)
+	if _, err := m.Do(context.Background(), "g1", buildFor(t, "g1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "restarted" manager sharing the spill tier must serve the set from
+	// the spilled index without running the build.
+	m2 := NewManager(0)
+	m2.SetSpill(sp)
+	set, err := m2.Do(context.Background(), "g1", func(context.Context) (*Set, error) {
+		t.Fatal("build ran despite a recoverable spilled index")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Recovered() != 1 {
+		t.Fatalf("recovered=%d, want 1", m2.Recovered())
+	}
+	for b := int32(0); b < int32(set.NumBlocks); b++ {
+		if _, ok := m2.Shard("g1", b); !ok {
+			t.Fatalf("recovered set could not serve block %d", b)
+		}
+	}
+}
+
+func TestManagerStaleShardRejectedByHash(t *testing.T) {
+	sp := newFakeSpill()
+	m := NewManager(0)
+	m.SetSpill(sp)
+	set, err := m.Do(context.Background(), "g1", buildFor(t, "g1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge block 0's spilled payload with a different build hash — a
+	// straggler from a stale build. A fresh manager recovering from the
+	// index must reject it at promotion, not serve it.
+	sh, ok := m.Shard("g1", 0)
+	if !ok {
+		t.Fatal("block 0 missing")
+	}
+	if err := sp.PutShard("g1", 0, EncodeShard(sh, set.BuildHash^0xdeadbeef)); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(0)
+	m2.SetSpill(sp)
+	if _, err := m2.Do(context.Background(), "g1", buildFor(t, "g1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m2.Shard("g1", 0); ok {
+		t.Fatal("stale-hash shard served")
+	}
+	if m2.PromoteFailures() == 0 {
+		t.Fatal("stale shard not counted as promote failure")
+	}
+}
+
+func TestManagerNoSpillDropsWholeSets(t *testing.T) {
+	m := NewManager(6_000)
+	if _, err := m.Do(context.Background(), "g1", buildFor(t, "g1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Do(context.Background(), "g2", buildFor(t, "g2")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sets() >= 2 {
+		t.Fatalf("budget kept %d sets resident, want eviction", m.Sets())
+	}
+	if m.Invalidations() == 0 {
+		t.Fatal("diskless eviction not counted")
+	}
+}
+
+func TestManagerRemovePrefix(t *testing.T) {
+	sp := newFakeSpill()
+	m := NewManager(0)
+	m.SetSpill(sp)
+	for _, key := range []string{"aaaa-auto-0", "aaaa-sequential-2", "bbbb-auto-0"} {
+		if _, err := m.Do(context.Background(), key, buildFor(t, key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RemovePrefix("aaaa-")
+	if m.Sets() != 1 {
+		t.Fatalf("sets=%d after RemovePrefix, want 1", m.Sets())
+	}
+	if _, ok := sp.GetIndex("aaaa-auto-0"); ok {
+		t.Fatal("removed set's spilled index survived")
+	}
+	if _, ok := sp.GetIndex("bbbb-auto-0"); !ok {
+		t.Fatal("unrelated set's spilled index removed")
+	}
+	if _, ok := m.Shard("bbbb-auto-0", 0); !ok {
+		t.Fatal("unrelated set unservable after RemovePrefix")
+	}
+}
+
+// TestManagerConcurrentChaos exercises Do/Shard/Remove interleavings under
+// budget pressure and a live spill tier; run with -race this is the
+// manager's data-race net.
+func TestManagerConcurrentChaos(t *testing.T) {
+	sp := newFakeSpill()
+	m := NewManager(3_000)
+	m.SetSpill(sp)
+	keys := []string{"k0", "k1", "k2"}
+	builds := map[string]func(context.Context) (*Set, error){}
+	for _, k := range keys {
+		builds[k] = buildFor(t, k)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				k := keys[(w+i)%len(keys)]
+				switch {
+				case i%17 == 13:
+					m.Remove(k)
+				default:
+					set, err := m.Do(context.Background(), k, builds[k])
+					if err != nil {
+						t.Errorf("Do(%s): %v", k, err)
+						return
+					}
+					b := int32((w * i) % set.NumBlocks)
+					if sh, ok := m.Shard(k, b); ok && sh.Block != b {
+						t.Errorf("Shard(%s,%d) returned block %d", k, b, sh.Block)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
