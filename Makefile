@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fuzz-durable fuzz-shard test-shard race-service test-crash fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fuzz-durable fuzz-shard test-shard test-incr fuzz-incr race-service test-crash fmt vet clean
 
 all: build test
 
@@ -80,6 +80,22 @@ fuzz-shard:
 	$(GO) test ./internal/shard -run FuzzNothing -fuzz FuzzDecodeIndex -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/shard -run FuzzNothing -fuzz FuzzDecodeShard -fuzztime $(FUZZTIME)
 
+# Incremental suite. test-incr runs the planner's differential harness
+# (every mutation sequence must leave labels byte-equal to a from-scratch
+# run), the mutation endpoint's differential harness (3 graph families × 4
+# engines, byte-equal JSON answers vs a server that uploaded the final
+# graph), and the incr rows of the fault matrix — all race-enabled.
+# fuzz-incr hammers the WAL delta-record decoder and the planner's Apply
+# with arbitrary delta sequences.
+test-incr:
+	$(GO) test -race ./internal/incr -count=1
+	$(GO) test -race -run 'Mutation|MutatedGraph|DeleteThenReupload' ./internal/service -count=1
+	$(GO) test -race -run 'FaultMatrixIncr' ./internal/faults -count=1
+
+fuzz-incr:
+	$(GO) test ./internal/durable -run FuzzNothing -fuzz FuzzDecodeDelta -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/incr -run FuzzNothing -fuzz FuzzApplyDeltas -fuzztime $(FUZZTIME)
+
 race-service:
 	$(GO) test -race ./internal/service ./internal/durable -count=1
 
@@ -99,8 +115,9 @@ lint-obs:
 # The gate run before merging: static checks, race-clean tests, the
 # fault-isolation suite, the observability suite, the durability suite
 # (decoder fuzzing, race-enabled service tests, crash harness), the shard
-# suite (differential harness + codec fuzzing), and a benchmark snapshot.
-ci: vet lint-obs race test-faults test-obs fuzz-durable test-shard fuzz-shard race-service test-crash bench-json
+# suite (differential harness + codec fuzzing), the incremental suite
+# (mutation differential harness + delta fuzzing), and a benchmark snapshot.
+ci: vet lint-obs race test-faults test-obs fuzz-durable test-shard fuzz-shard test-incr fuzz-incr race-service test-crash bench-json
 
 fmt:
 	gofmt -l -w .

@@ -225,6 +225,27 @@ var ErrNilGraph = errors.New("bicc: nil graph")
 // slow" (retry, then degrade) from "the caller's deadline passed" (give up).
 var ErrAttemptTimeout = errors.New("bicc: parallel attempt exceeded AttemptTimeout")
 
+// ResolveAlgorithm reports the engine Auto selects for g at the given worker
+// count (the paper's density rule: Sequential for one worker, TVFilter when
+// m >= 4n, TVOpt otherwise). Non-Auto algorithms resolve to themselves, and
+// procs <= 0 means GOMAXPROCS, matching Options.Procs. Callers that serve a
+// decomposition computed elsewhere (result reconstruction, incremental
+// maintenance) use this to label it exactly as a live Auto run would.
+func ResolveAlgorithm(g *Graph, algo Algorithm, procs int) Algorithm {
+	if algo != Auto {
+		return algo
+	}
+	p := par.Procs(procs)
+	switch {
+	case p == 1:
+		return Sequential
+	case len(g.el.Edges) >= 4*int(g.el.N):
+		return TVFilter
+	default:
+		return TVOpt
+	}
+}
+
 // BiconnectedComponents computes the block decomposition of g. When
 // opt.Context is non-nil the run honors its deadline/cancellation; see
 // BiconnectedComponentsCtx.
@@ -262,17 +283,7 @@ func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Res
 		return nil, err
 	}
 	p := par.Procs(o.Procs)
-	algo := o.Algorithm
-	if algo == Auto {
-		switch {
-		case p == 1:
-			algo = Sequential
-		case len(g.el.Edges) >= 4*int(g.el.N):
-			algo = TVFilter
-		default:
-			algo = TVOpt
-		}
-	}
+	algo := ResolveAlgorithm(g, o.Algorithm, p)
 	switch algo {
 	case Sequential, TVSMP, TVOpt, TVFilter:
 	default:

@@ -12,6 +12,7 @@
 //	     [-data-dir DIR] [-wal-sync always|interval|none]
 //	     [-wal-sync-interval D] [-compact-bytes B] [-mem-budget B]
 //	     [-spill-budget B] [-shard] [-shard-budget B] [-shard-spill-budget B]
+//	     [-incr-threshold R]
 //
 // With -data-dir set, the daemon is durable: every acknowledged graph
 // upload is fsync'd to a write-ahead log before the response is sent,
@@ -47,6 +48,13 @@
 //	GET    /v1/graphs        list resident graphs
 //	GET    /v1/graphs/{fp}   one graph's info
 //	DELETE /v1/graphs/{fp}   evict a graph
+//	POST   /v1/graphs/{fp}/edges  mutate a graph in place: {"deltas":
+//	                         [{"op": "insert"|"delete", "u": U, "v": V} ...]}.
+//	                         Durable daemons fsync the batch to the WAL before
+//	                         acknowledging; the block-cut tree decides between
+//	                         absorbing the change, recomputing only the dirty
+//	                         blocks, or a full engine run (-incr-threshold sets
+//	                         the dirty-region ratio that forces a full run)
 //	POST   /v1/bcc           run a query: {"graph": fp, "algorithm": ...,
 //	                         "procs": N, "timeout_ms": T, "include": [...]}
 //	GET    /v1/block/{id}    one block's vertices, cut vertices, and
@@ -125,6 +133,7 @@ func main() {
 	shardOn := flag.Bool("shard", false, "enable the shard-by-component per-block query endpoints")
 	shardBudget := flag.Int64("shard-budget", 0, "resident byte budget for shard state; past it shards demote (0 = unlimited)")
 	shardSpillBudget := flag.Int64("shard-spill-budget", 0, "disk budget for demoted shards under <data-dir>/shards (0 = unlimited)")
+	incrThreshold := flag.Float64("incr-threshold", 0, "dirty-region edge ratio past which a mutation degrades to a full engine run (0 = 0.5)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a graph at startup: name=path or just path (repeatable; format by extension)")
 	flag.Parse()
@@ -145,6 +154,7 @@ func main() {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		NoFallback:       *noFallback,
+		IncrThreshold:    *incrThreshold,
 	})
 	if *dataDir != "" {
 		mode, err := durable.ParseSyncMode(*walSync)

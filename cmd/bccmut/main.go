@@ -1,0 +1,339 @@
+// Command bccmut streams edge mutations against a running bccd and reports
+// per-batch latency, so the incremental path can be measured like any other
+// engine: modes, dirty-block counts, and wall time per acknowledged batch.
+//
+// Usage:
+//
+//	bccmut -graph FP [-addr URL] [-batch N] -file deltas.txt
+//	bccmut -graph FP -synth local|random -graph-file g.txt [-count N]
+//	       [-window W] [-delete-frac F] [-seed S]
+//
+// In file mode the delta stream is one op per line — "insert U V" or
+// "delete U V", '#' comments ignored — grouped into batches of -batch ops;
+// a blank line flushes the current batch early, so a file can control batch
+// boundaries exactly. "-file -" reads stdin.
+//
+// In synth mode the tool generates -count operations client-side from a
+// local copy of the graph (needed to know the vertex count and live edge
+// set, since duplicate inserts and absent deletes are rejected by the
+// server). "local" picks a random center vertex per batch and keeps both
+// endpoints within -window ids of it — high block locality, the absorb and
+// small-rebuild paths; "random" draws uniform endpoint pairs — low
+// locality, the degrade-to-full path. A -delete-frac slice of operations
+// deletes edges the tool itself inserted earlier, so base-graph
+// connectivity is never cut by the synthesizer.
+//
+// Each batch prints its client-measured latency plus the server's mode and
+// region stats; the run ends with p50/p95/max latency overall and per mode.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"bicc"
+)
+
+type delta struct {
+	Op string `json:"op"`
+	U  int32  `json:"u"`
+	V  int32  `json:"v"`
+}
+
+// mutateReply mirrors the service's mutate response; fields the tool does
+// not print are omitted.
+type mutateReply struct {
+	Generation  uint64  `json:"generation"`
+	Mode        string  `json:"mode"`
+	Deltas      int     `json:"deltas"`
+	Absorbed    int     `json:"absorbed"`
+	DirtyBlocks int     `json:"dirty_blocks"`
+	RegionRatio float64 `json:"region_ratio"`
+	Edges       int     `json:"edges"`
+	Degraded    bool    `json:"degraded"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bccmut: ")
+
+	addr := flag.String("addr", "http://localhost:8714", "bccd base URL")
+	graphFP := flag.String("graph", "", "fingerprint of the resident graph to mutate (required)")
+	file := flag.String("file", "", "delta file: 'insert U V' / 'delete U V' per line ('-' = stdin)")
+	batch := flag.Int("batch", 64, "ops per mutation batch in file mode")
+	synth := flag.String("synth", "", "generate deltas instead of reading them: local or random")
+	graphFile := flag.String("graph-file", "", "local copy of the graph, required with -synth (format by extension)")
+	count := flag.Int("count", 1000, "total synthesized ops")
+	window := flag.Int("window", 32, "vertex-id radius around each batch's center in -synth local")
+	deleteFrac := flag.Float64("delete-frac", 0.3, "fraction of synthesized ops that delete a previously inserted edge")
+	seed := flag.Int64("seed", 1, "synthesizer RNG seed")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-batch HTTP timeout")
+	flag.Parse()
+
+	if *graphFP == "" {
+		log.Fatal("-graph is required")
+	}
+	if (*file == "") == (*synth == "") {
+		log.Fatal("exactly one of -file or -synth must be set")
+	}
+
+	var batches [][]delta
+	var err error
+	switch {
+	case *file != "":
+		batches, err = readDeltaFile(*file, *batch)
+	case *synth == "local" || *synth == "random":
+		if *graphFile == "" {
+			log.Fatal("-synth needs -graph-file to know the live edge set")
+		}
+		batches, err = synthesize(*synth, *graphFile, *count, *batch, *window, *deleteFrac, *seed)
+	default:
+		log.Fatalf("-synth %q: want local or random", *synth)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(batches) == 0 {
+		log.Fatal("no deltas to send")
+	}
+
+	url := strings.TrimRight(*addr, "/") + "/v1/graphs/" + *graphFP + "/edges"
+	client := &http.Client{Timeout: *timeout}
+	var lats []time.Duration
+	byMode := map[string][]time.Duration{}
+	totalOps := 0
+	start := time.Now()
+	for i, b := range batches {
+		body, _ := json.Marshal(map[string]any{"deltas": b})
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatalf("batch %d: %v", i, err)
+		}
+		lat := time.Since(t0)
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("batch %d: %s: %s", i, resp.Status, strings.TrimSpace(string(payload)))
+		}
+		var rep mutateReply
+		if err := json.Unmarshal(payload, &rep); err != nil {
+			log.Fatalf("batch %d: decoding response: %v", i, err)
+		}
+		lats = append(lats, lat)
+		byMode[rep.Mode] = append(byMode[rep.Mode], lat)
+		totalOps += rep.Deltas
+		degraded := ""
+		if rep.Degraded {
+			degraded = " degraded"
+		}
+		fmt.Printf("batch %3d  gen %-4d %-6s  ops %-3d absorbed %-3d dirty %-3d ratio %.3f  server %8.3fms  total %8.3fms%s\n",
+			i, rep.Generation, rep.Mode, rep.Deltas, rep.Absorbed, rep.DirtyBlocks, rep.RegionRatio,
+			float64(rep.ElapsedNs)/1e6, float64(lat.Nanoseconds())/1e6, degraded)
+	}
+
+	fmt.Printf("\n%d batches, %d ops in %v\n", len(batches), totalOps, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("overall   %s\n", percentiles(lats))
+	modes := make([]string, 0, len(byMode))
+	for m := range byMode {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	for _, m := range modes {
+		fmt.Printf("%-9s %s  (%d batches)\n", m, percentiles(byMode[m]), len(byMode[m]))
+	}
+}
+
+func percentiles(lats []time.Duration) string {
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pick := func(p float64) time.Duration {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return fmt.Sprintf("p50 %8.3fms  p95 %8.3fms  max %8.3fms",
+		float64(pick(0.50).Nanoseconds())/1e6,
+		float64(pick(0.95).Nanoseconds())/1e6,
+		float64(s[len(s)-1].Nanoseconds())/1e6)
+}
+
+// readDeltaFile parses the line-oriented delta format into batches of up to
+// batchSize ops; a blank line closes the current batch early.
+func readDeltaFile(path string, batchSize int) ([][]delta, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	var batches [][]delta
+	var cur []delta
+	flush := func() {
+		if len(cur) > 0 {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		var op string
+		var u, v int32
+		if _, err := fmt.Sscanf(text, "%s %d %d", &op, &u, &v); err != nil {
+			return nil, fmt.Errorf("%s:%d: %q: want 'insert U V' or 'delete U V'", path, line, text)
+		}
+		if op != "insert" && op != "delete" {
+			return nil, fmt.Errorf("%s:%d: op %q: want insert or delete", path, line, op)
+		}
+		cur = append(cur, delta{Op: op, U: u, V: v})
+		if len(cur) >= batchSize {
+			flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return batches, nil
+}
+
+// synthesize builds count ops against the edge set parsed from graphFile.
+// It tracks live edges client-side so every insert targets an absent pair
+// and every delete targets an edge this run inserted — the server rejects
+// anything else, and deleting only synthesized edges keeps the base graph
+// connected.
+func synthesize(mode, graphFile string, count, batchSize, window int, deleteFrac float64, seed int64) ([][]delta, error) {
+	g, err := readGraphFile(graphFile)
+	if err != nil {
+		return nil, err
+	}
+	n := int32(g.NumVertices())
+	if n < 2 {
+		return nil, fmt.Errorf("%s: need at least 2 vertices", graphFile)
+	}
+	canon := func(u, v int32) [2]int32 {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int32{u, v}
+	}
+	live := map[[2]int32]bool{}
+	for _, e := range g.Edges() {
+		live[canon(e.U, e.V)] = true
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if window < 1 {
+		window = 1
+	}
+	var batches [][]delta
+	var cur []delta
+	// Synthesized edges become delete-eligible only once their batch has
+	// been flushed: the server rejects insert-then-delete of the same edge
+	// within one batch.
+	var inserted, pending [][2]int32
+	center := rng.Int31n(n)
+	pickVertex := func() int32 {
+		if mode == "random" {
+			return rng.Int31n(n)
+		}
+		v := center + rng.Int31n(int32(2*window+1)) - int32(window)
+		if v < 0 {
+			v = 0
+		}
+		if v >= n {
+			v = n - 1
+		}
+		return v
+	}
+	for op := 0; op < count; op++ {
+		if rng.Float64() < deleteFrac && len(inserted) > 0 {
+			i := rng.Intn(len(inserted))
+			key := inserted[i]
+			inserted[i] = inserted[len(inserted)-1]
+			inserted = inserted[:len(inserted)-1]
+			delete(live, key)
+			cur = append(cur, delta{Op: "delete", U: key[0], V: key[1]})
+		} else {
+			var key [2]int32
+			found := false
+			for try := 0; try < 64; try++ {
+				u, v := pickVertex(), pickVertex()
+				if u == v {
+					continue
+				}
+				key = canon(u, v)
+				if !live[key] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				// The window is saturated; move on rather than spin.
+				center = rng.Int31n(n)
+				continue
+			}
+			live[key] = true
+			pending = append(pending, key)
+			cur = append(cur, delta{Op: "insert", U: key[0], V: key[1]})
+		}
+		if len(cur) >= batchSize {
+			batches = append(batches, cur)
+			cur = nil
+			inserted = append(inserted, pending...)
+			pending = nil
+			center = rng.Int31n(n) // each batch gets its own locality center
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}
+
+// readGraphFile parses a graph by extension, matching bccd's -load rules.
+func readGraphFile(path string) (*bicc.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".bin", ".bicc":
+		return bicc.ReadGraphBinary(f)
+	case ".col", ".dimacs":
+		return bicc.ReadGraphDIMACS(f)
+	default:
+		return bicc.ReadGraph(f)
+	}
+}

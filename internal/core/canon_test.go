@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"bicc/internal/gen"
+	"bicc/internal/graph"
+)
+
+// TestCanonicalLabels pins the property the incremental layer builds on: all
+// four engines emit the same EdgeComp byte for byte, because every engine
+// densifies block ids into first-occurrence order over the edge list. A
+// partial recomputation stitched into that numbering is then
+// indistinguishable from a from-scratch run of any engine.
+func TestCanonicalLabels(t *testing.T) {
+	families := map[string]*graph.EdgeList{
+		"random":      gen.RandomConnected(200, 600, 7),
+		"torus":       gen.Torus(10, 12),
+		"caterpillar": gen.Caterpillar(30, 4),
+		"dense":       gen.Dense(40, 0.5, 11),
+		"mesh":        gen.Mesh(9, 9),
+	}
+	type engine struct {
+		name string
+		run  func(g *graph.EdgeList) (*Result, error)
+	}
+	engines := []engine{
+		{"sequential", func(g *graph.EdgeList) (*Result, error) { return SequentialC(nil, g) }},
+		{"tv-smp", func(g *graph.EdgeList) (*Result, error) { return Custom(3, g, TVSMPConfig()) }},
+		{"tv-opt", func(g *graph.EdgeList) (*Result, error) { return Custom(3, g, TVOptConfig()) }},
+		{"tv-filter", func(g *graph.EdgeList) (*Result, error) { return Custom(3, g, TVFilterConfig()) }},
+	}
+	for fname, g := range families {
+		want, err := engines[0].run(g)
+		if err != nil {
+			t.Fatalf("%s/sequential: %v", fname, err)
+		}
+		// The canonical numbering is first-occurrence order: walking the
+		// edge list, each label must be either already seen or exactly the
+		// next unused id.
+		next := int32(0)
+		for i, c := range want.EdgeComp {
+			if c > next {
+				t.Fatalf("%s: edge %d has label %d before %d was used", fname, i, c, next)
+			}
+			if c == next {
+				next++
+			}
+		}
+		for _, e := range engines[1:] {
+			got, err := e.run(g)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fname, e.name, err)
+			}
+			if got.NumComp != want.NumComp {
+				t.Fatalf("%s/%s: NumComp=%d, sequential %d", fname, e.name, got.NumComp, want.NumComp)
+			}
+			if fmt.Sprint(got.EdgeComp) != fmt.Sprint(want.EdgeComp) {
+				t.Fatalf("%s/%s: EdgeComp differs from sequential", fname, e.name)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bicc/internal/conncomp"
 	"bicc/internal/faults"
 	"bicc/internal/graph"
 	"bicc/internal/obs"
@@ -136,5 +137,13 @@ func SequentialT(cn *par.Canceler, sp *obs.Span, g *graph.EdgeList) (res *Result
 		}
 	}
 	sw.lap("sequential-dfs")
-	return &Result{NumComp: int(numComp), EdgeComp: edgeComp, Phases: sw.phases}, nil
+	// Densify block ids into first-occurrence order over the edge list, the
+	// same canonical numbering the TV engines emit from finishResult. The DFS
+	// pops blocks in completion order, which is a different (if equally
+	// valid) numbering; canonicalizing here makes all four engines produce
+	// byte-identical EdgeComp for the same edge list, which the incremental
+	// layer relies on to stitch partial recomputations into labelings that
+	// match a from-scratch run of any engine.
+	k := conncomp.Normalize(edgeComp)
+	return &Result{NumComp: k, EdgeComp: edgeComp, Phases: sw.phases}, nil
 }

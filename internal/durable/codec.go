@@ -48,6 +48,7 @@ const (
 	recResult      = 3 // payload: result record (key, edge labels, JSON view)
 	recSnapEnd     = 4 // payload: u32 count of graph records; snapshot trailer
 	recBlob        = 5 // payload: blob record (key string, opaque bytes)
+	recGraphDelta  = 6 // payload: delta record (graph id, generation, edge ops)
 )
 
 // frameHeaderLen is the per-record frame: kind byte, payload length, and
@@ -134,31 +135,58 @@ func nextRecord(b []byte) (kind byte, payload []byte, consumed int, err error) {
 
 // --- graph payload ----------------------------------------------------------
 
-// GraphRecord is one persisted registry entry.
+// GraphRecord is one persisted registry entry. FP is the graph's stable id
+// — its content fingerprint at upload time. A graph that has been mutated
+// carries a nonzero Gen and a CFP (the content fingerprint of the CURRENT
+// edge list) that no longer equals FP; recovery recomputes the content
+// fingerprint and compares it to CFP, so a replay that reconstructed the
+// wrong edges is detected and dropped.
 type GraphRecord struct {
-	FP    string // content fingerprint as recorded at append time
+	FP    string // stable graph id (content fingerprint at upload)
 	Name  string // client-supplied label
+	Gen   uint64 // mutation generation, 0 for never-mutated graphs
+	CFP   string // content fingerprint of the current edges (== FP at gen 0)
 	Graph *bicc.Graph
 }
 
-// encodeGraph renders a graph record payload:
+// encodeGraph renders a graph record payload. Never-mutated graphs use the
+// original version-1 layout so pre-mutation WALs and snapshots stay byte
+// identical; mutated graphs use version 2, which carries the generation and
+// the current content fingerprint:
 //
-//	[ver:1][fpLen:u8][fp][nameLen:u16][name][n:u32][m:u32][(u,v) int32 pairs]
-func encodeGraph(fp, name string, g *bicc.Graph) []byte {
+//	v1: [ver:1][fpLen:u8][fp][nameLen:u16][name][n:u32][m:u32][(u,v) pairs]
+//	v2: [ver:2][fpLen:u8][fp][nameLen:u16][name][gen:u64][cfpLen:u8][cfp]
+//	    [n:u32][m:u32][(u,v) pairs]
+func encodeGraph(rec GraphRecord) []byte {
+	fp, name := rec.FP, rec.Name
 	if len(fp) > 255 {
 		fp = fp[:255]
 	}
 	if len(name) > 1<<16-1 {
 		name = name[:1<<16-1]
 	}
-	edges := g.Edges()
-	buf := make([]byte, 0, 1+1+len(fp)+2+len(name)+8+8*len(edges))
-	buf = append(buf, 1) // payload version
+	cfp := rec.CFP
+	if len(cfp) > 255 {
+		cfp = cfp[:255]
+	}
+	v2 := rec.Gen != 0 || (cfp != "" && cfp != fp)
+	edges := rec.Graph.Edges()
+	buf := make([]byte, 0, 1+1+len(fp)+2+len(name)+9+len(cfp)+8+8+8*len(edges))
+	if v2 {
+		buf = append(buf, 2)
+	} else {
+		buf = append(buf, 1)
+	}
 	buf = append(buf, byte(len(fp)))
 	buf = append(buf, fp...)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
 	buf = append(buf, name...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.NumVertices()))
+	if v2 {
+		buf = binary.LittleEndian.AppendUint64(buf, rec.Gen)
+		buf = append(buf, byte(len(cfp)))
+		buf = append(buf, cfp...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Graph.NumVertices()))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(edges)))
 	for _, e := range edges {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.U))
@@ -175,7 +203,7 @@ func decodeGraph(b []byte) (GraphRecord, error) {
 	var rec GraphRecord
 	r := byteReader{b: b}
 	ver, ok := r.u8()
-	if !ok || ver != 1 {
+	if !ok || (ver != 1 && ver != 2) {
 		return rec, fmt.Errorf("%w: graph payload version", ErrCorrupt)
 	}
 	fpLen, ok := r.u8()
@@ -193,6 +221,22 @@ func decodeGraph(b []byte) (GraphRecord, error) {
 	name, ok := r.bytes(int(nameLen))
 	if !ok {
 		return rec, fmt.Errorf("%w: graph name", ErrCorrupt)
+	}
+	var gen uint64
+	cfp := fp
+	if ver == 2 {
+		gen, ok = r.u64()
+		if !ok {
+			return rec, fmt.Errorf("%w: graph generation", ErrCorrupt)
+		}
+		cfpLen, ok := r.u8()
+		if !ok {
+			return rec, fmt.Errorf("%w: graph cfp length", ErrCorrupt)
+		}
+		cfp, ok = r.bytes(int(cfpLen))
+		if !ok {
+			return rec, fmt.Errorf("%w: graph cfp", ErrCorrupt)
+		}
 	}
 	n, ok1 := r.u32()
 	m, ok2 := r.u32()
@@ -215,7 +259,125 @@ func decodeGraph(b []byte) (GraphRecord, error) {
 	if err != nil {
 		return rec, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	return GraphRecord{FP: string(fp), Name: string(name), Graph: g}, nil
+	return GraphRecord{FP: string(fp), Name: string(name), Gen: gen, CFP: string(cfp), Graph: g}, nil
+}
+
+// --- delta payload ----------------------------------------------------------
+
+// DeltaOp is one edge mutation inside a DeltaRecord.
+type DeltaOp struct {
+	Del  bool // false = insert, true = delete
+	U, V int32
+}
+
+// DeltaRecord is one persisted mutation batch: the stable graph id it
+// applies to, the generation the graph reaches once the batch is applied,
+// the vertex count after application, the content fingerprint of the
+// post-application edge list (so recovery can verify the replay), and the
+// ops in submission order.
+type DeltaRecord struct {
+	ID     string // stable graph id (upload-time fingerprint)
+	Gen    uint64 // generation AFTER applying this batch
+	NewN   int32  // vertex count after applying this batch
+	PostFP string // content fingerprint of the post-application edge list
+	Ops    []DeltaOp
+}
+
+// EncodeDelta renders a delta record payload:
+//
+//	[ver:1][idLen:u8][id][gen:u64][newN:u32][postLen:u8][postFP]
+//	[count:u32][count × (op:u8)(u:u32)(v:u32)]
+func EncodeDelta(rec DeltaRecord) []byte {
+	id, post := rec.ID, rec.PostFP
+	if len(id) > 255 {
+		id = id[:255]
+	}
+	if len(post) > 255 {
+		post = post[:255]
+	}
+	buf := make([]byte, 0, 1+1+len(id)+8+4+1+len(post)+4+9*len(rec.Ops))
+	buf = append(buf, 1)
+	buf = append(buf, byte(len(id)))
+	buf = append(buf, id...)
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Gen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.NewN))
+	buf = append(buf, byte(len(post)))
+	buf = append(buf, post...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		k := byte(0)
+		if op.Del {
+			k = 1
+		}
+		buf = append(buf, k)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(op.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(op.V))
+	}
+	return buf
+}
+
+// DecodeDelta parses a delta record payload. Structure is fully validated —
+// op kinds, non-negative endpoints, no self loops, vertex count bounds —
+// so a corrupt payload that slips past the CRC cannot inject an
+// unappliable op; whether the ops match the target graph is re-checked at
+// replay via PostFP.
+func DecodeDelta(b []byte) (DeltaRecord, error) {
+	var rec DeltaRecord
+	r := byteReader{b: b}
+	ver, ok := r.u8()
+	if !ok || ver != 1 {
+		return rec, fmt.Errorf("%w: delta payload version", ErrCorrupt)
+	}
+	idLen, ok := r.u8()
+	if !ok {
+		return rec, fmt.Errorf("%w: delta id length", ErrCorrupt)
+	}
+	id, ok := r.bytes(int(idLen))
+	if !ok {
+		return rec, fmt.Errorf("%w: delta id", ErrCorrupt)
+	}
+	gen, ok := r.u64()
+	if !ok {
+		return rec, fmt.Errorf("%w: delta generation", ErrCorrupt)
+	}
+	newN, ok := r.u32()
+	if !ok || int64(newN) > 1<<31-1 {
+		return rec, fmt.Errorf("%w: delta vertex count", ErrCorrupt)
+	}
+	postLen, ok := r.u8()
+	if !ok {
+		return rec, fmt.Errorf("%w: delta post-fp length", ErrCorrupt)
+	}
+	post, ok := r.bytes(int(postLen))
+	if !ok {
+		return rec, fmt.Errorf("%w: delta post-fp", ErrCorrupt)
+	}
+	count, ok := r.u32()
+	if !ok || uint64(len(r.b)-r.off) < 9*uint64(count) {
+		return rec, fmt.Errorf("%w: delta op section short for count=%d", ErrCorrupt, count)
+	}
+	ops := make([]DeltaOp, count)
+	for i := range ops {
+		k, _ := r.u8()
+		u, _ := r.u32()
+		v, _ := r.u32()
+		if k > 1 {
+			return rec, fmt.Errorf("%w: delta op kind %d", ErrCorrupt, k)
+		}
+		if int32(u) < 0 || int32(v) < 0 || u == v || u >= newN || v >= newN {
+			return rec, fmt.Errorf("%w: delta op %d endpoints (%d,%d)", ErrCorrupt, i, int32(u), int32(v))
+		}
+		ops[i] = DeltaOp{Del: k == 1, U: int32(u), V: int32(v)}
+	}
+	if r.off != len(r.b) {
+		return rec, fmt.Errorf("%w: %d trailing bytes in delta payload", ErrCorrupt, len(r.b)-r.off)
+	}
+	rec.ID = string(id)
+	rec.Gen = gen
+	rec.NewN = int32(newN)
+	rec.PostFP = string(post)
+	rec.Ops = ops
+	return rec, nil
 }
 
 // --- result payload ---------------------------------------------------------
@@ -351,6 +513,15 @@ func (r *byteReader) u32() (uint32, bool) {
 	}
 	v := binary.LittleEndian.Uint32(r.b[r.off:])
 	r.off += 4
+	return v, true
+}
+
+func (r *byteReader) u64() (uint64, bool) {
+	if r.off+8 > len(r.b) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
 	return v, true
 }
 

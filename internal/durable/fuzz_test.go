@@ -26,8 +26,8 @@ func FuzzDecodeWAL(f *testing.F) {
 	g := fuzzSeedGraph()
 	wal := fileHeader(fileKindWAL)
 	for i, rec := range [][]byte{
-		encodeGraph("fp-1", "seed one", g),
-		encodeGraph("fp-2", "seed two", g),
+		encodeGraph(GraphRecord{FP: "fp-1", Name: "seed one", Graph: g}),
+		encodeGraph(GraphRecord{FP: "fp-2", Name: "seed two", Gen: 2, CFP: "cfp-2", Graph: g}),
 	} {
 		_ = i
 		wal = append(wal, frameHeader(recGraphAdd, rec)...)
@@ -36,6 +36,10 @@ func FuzzDecodeWAL(f *testing.F) {
 	rm := []byte("fp-1")
 	wal = append(wal, frameHeader(recGraphRemove, rm)...)
 	wal = append(wal, rm...)
+	dl := EncodeDelta(DeltaRecord{ID: "fp-2", Gen: 3, NewN: 6, PostFP: "cfp-3",
+		Ops: []DeltaOp{{Del: false, U: 4, V: 5}, {Del: true, U: 2, V: 3}}})
+	wal = append(wal, frameHeader(recGraphDelta, dl)...)
+	wal = append(wal, dl...)
 	f.Add(wal)
 	f.Add(wal[:len(wal)-3]) // torn tail
 	f.Add(fileHeader(fileKindWAL))
@@ -72,7 +76,7 @@ func FuzzDecodeWAL(f *testing.F) {
 func FuzzDecodeSnapshot(f *testing.F) {
 	g := fuzzSeedGraph()
 	snap := fileHeader(fileKindSnapshot)
-	rec := encodeGraph("fp-1", "seed", g)
+	rec := encodeGraph(GraphRecord{FP: "fp-1", Name: "seed", Graph: g})
 	snap = append(snap, frameHeader(recGraphAdd, rec)...)
 	snap = append(snap, rec...)
 	end := []byte{1, 0, 0, 0}
@@ -102,6 +106,40 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		}
 		if complete && len(b) < fileHeaderLen+frameHeaderLen {
 			t.Fatal("complete verdict from a file too short to hold the end marker")
+		}
+	})
+}
+
+// FuzzDecodeDelta drives the WAL delta-record decoder: no panics, a
+// successful decode is a re-encode fixed point, and every torn-tail
+// truncation of a valid payload is rejected rather than misparsed.
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add(EncodeDelta(DeltaRecord{ID: "fp-1", Gen: 1, NewN: 8, PostFP: "cfp-1",
+		Ops: []DeltaOp{{Del: false, U: 0, V: 7}, {Del: true, U: 1, V: 2}}}))
+	f.Add(EncodeDelta(DeltaRecord{ID: "fp-2", Gen: 42, NewN: 3, PostFP: "",
+		Ops: nil}))
+	f.Add([]byte{1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, err := DecodeDelta(b)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to exactly the input.
+		if !bytes.Equal(EncodeDelta(rec), b) {
+			t.Fatal("decode/encode not a fixed point")
+		}
+		// Structural guarantees the replay path relies on.
+		for i, op := range rec.Ops {
+			if op.U < 0 || op.V < 0 || op.U == op.V || op.U >= rec.NewN || op.V >= rec.NewN {
+				t.Fatalf("invalid op %d escaped validation: %+v", i, op)
+			}
+		}
+		// Torn tails of a valid payload never decode.
+		for n := 0; n < len(b); n++ {
+			if _, err := DecodeDelta(b[:n]); err == nil {
+				t.Fatalf("truncation to %d/%d bytes accepted", n, len(b))
+			}
 		}
 	})
 }

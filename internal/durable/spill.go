@@ -184,6 +184,25 @@ func (s *Spill) Remove(key string) {
 	_ = os.Remove(s.spillFile(key))
 }
 
+// RemovePrefix drops every spilled record whose key starts with prefix —
+// the invalidation path when a graph mutates or is deleted and all of its
+// results (across generations, algorithms, and proc counts) become stale.
+func (s *Spill) RemovePrefix(prefix string) {
+	s.mu.Lock()
+	var victims []string
+	for k, e := range s.entries {
+		if strings.HasPrefix(k, prefix) {
+			s.bytes -= e.bytes
+			delete(s.entries, k)
+			victims = append(victims, k)
+		}
+	}
+	s.mu.Unlock()
+	for _, k := range victims {
+		_ = os.Remove(s.spillFile(k))
+	}
+}
+
 // evictOverBudget drops least-recently-used records until the disk budget
 // is met. Caller holds mu (or is still single-threaded in OpenSpill).
 func (s *Spill) evictOverBudget() {

@@ -13,6 +13,7 @@ import (
 
 	"bicc"
 	"bicc/internal/faults"
+	"bicc/internal/graph"
 )
 
 // Crash-injection sites in the write paths. Each marks an exact byte
@@ -274,6 +275,27 @@ func Open(cfg Config) (*Store, *Recovery, error) {
 				s.state[r.graph.FP] = r.graph
 			case recGraphRemove:
 				delete(s.state, r.fp)
+			case recGraphDelta:
+				prev, ok := s.state[r.delta.ID]
+				if !ok {
+					// Delta for a graph whose add record was itself dropped:
+					// nothing to apply it to.
+					rec.DroppedRecords++
+					continue
+				}
+				ng, err := applyOps(prev.Graph, r.delta)
+				if err != nil {
+					// The ops no longer match the graph — the entry has
+					// diverged from what was acknowledged. Serving a wrong
+					// graph is worse than serving none: drop the entry.
+					rec.DroppedRecords++
+					delete(s.state, r.delta.ID)
+					continue
+				}
+				s.state[r.delta.ID] = GraphRecord{
+					FP: prev.FP, Name: prev.Name, Gen: r.delta.Gen,
+					CFP: r.delta.PostFP, Graph: ng,
+				}
 			}
 		}
 	}
@@ -349,10 +371,37 @@ func (s *Store) AppendAdd(fp, name string, g *bicc.Graph) error {
 	if s.closed {
 		return fmt.Errorf("durable: store closed")
 	}
-	if err := s.appendLocked(recGraphAdd, encodeGraph(fp, name, g)); err != nil {
+	rec := GraphRecord{FP: fp, Name: name, CFP: fp, Graph: g}
+	if err := s.appendLocked(recGraphAdd, encodeGraph(rec)); err != nil {
 		return err
 	}
-	s.state[fp] = GraphRecord{FP: fp, Name: name, Graph: g}
+	s.state[fp] = rec
+	s.maybeCompactLocked()
+	return nil
+}
+
+// AppendDelta logs a mutation batch against a registered graph and swaps the
+// durable entry to the post-application graph at its new generation. Under
+// SyncAlways the record has been fsync'd when the call returns — the service
+// may acknowledge the mutation. newGraph is the already-applied edge list
+// (the store persists the ops, not the graph; snapshots fold the applied
+// graph in via the v2 payload).
+func (s *Store) AppendDelta(rec DeltaRecord, newGraph *bicc.Graph) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("durable: store closed")
+	}
+	prev, ok := s.state[rec.ID]
+	if !ok {
+		return fmt.Errorf("durable: delta for unknown graph %s", rec.ID)
+	}
+	if err := s.appendLocked(recGraphDelta, EncodeDelta(rec)); err != nil {
+		return err
+	}
+	s.state[rec.ID] = GraphRecord{
+		FP: rec.ID, Name: prev.Name, Gen: rec.Gen, CFP: rec.PostFP, Graph: newGraph,
+	}
 	s.maybeCompactLocked()
 	return nil
 }
@@ -476,7 +525,7 @@ func (s *Store) writeSnapshot(old *os.File, oldGen uint64, state []GraphRecord) 
 			return false
 		}
 		for i, gr := range state {
-			payload := encodeGraph(gr.FP, gr.Name, gr.Graph)
+			payload := encodeGraph(gr)
 			if _, err := f.Write(frameHeader(recGraphAdd, payload)); err != nil {
 				return false
 			}
@@ -645,6 +694,7 @@ type walRec struct {
 	kind  byte
 	graph GraphRecord // for recGraphAdd
 	fp    string      // for recGraphRemove
+	delta DeltaRecord // for recGraphDelta
 }
 
 // scanWAL decodes a WAL image. It returns the decoded records, the byte
@@ -674,6 +724,13 @@ func scanWAL(b []byte) (recs []walRec, validLen int, truncated bool, dropped int
 			}
 		case recGraphRemove:
 			recs = append(recs, walRec{kind: recGraphRemove, fp: string(payload)})
+		case recGraphDelta:
+			dr, err := DecodeDelta(payload)
+			if err != nil {
+				dropped++
+			} else {
+				recs = append(recs, walRec{kind: recGraphDelta, delta: dr})
+			}
 		default:
 			// An unknown record kind with a valid CRC is a future format or
 			// scribbled disk; skip the record, keep its bytes as valid.
@@ -681,6 +738,43 @@ func scanWAL(b []byte) (recs []walRec, validLen int, truncated bool, dropped int
 		}
 		off += n
 	}
+}
+
+// applyOps mechanically replays a delta batch onto a graph: deletes remove
+// the edge preserving the order of the remainder, inserts append at the end —
+// the same semantics the service validated before acknowledging the record.
+// An op that no longer matches the edge list is an error; the caller decides
+// what to do with the diverged entry.
+func applyOps(g *bicc.Graph, rec DeltaRecord) (*bicc.Graph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("durable: delta replay onto nil graph")
+	}
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	index := make(map[uint64]int, len(edges))
+	for i, e := range edges {
+		index[graph.CanonKey(e.U, e.V)] = i
+	}
+	for i, op := range rec.Ops {
+		key := graph.CanonKey(op.U, op.V)
+		at, present := index[key]
+		if op.Del {
+			if !present {
+				return nil, fmt.Errorf("durable: delta op %d deletes absent edge (%d,%d)", i, op.U, op.V)
+			}
+			edges = append(edges[:at], edges[at+1:]...)
+			delete(index, key)
+			for j := at; j < len(edges); j++ {
+				index[graph.CanonKey(edges[j].U, edges[j].V)] = j
+			}
+		} else {
+			if present {
+				return nil, fmt.Errorf("durable: delta op %d inserts duplicate edge (%d,%d)", i, op.U, op.V)
+			}
+			index[key] = len(edges)
+			edges = append(edges, graph.Edge{U: op.U, V: op.V})
+		}
+	}
+	return bicc.NewGraph(int(rec.NewN), edges)
 }
 
 // scanSnapshot decodes a snapshot image. complete reports that the end

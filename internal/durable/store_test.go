@@ -144,6 +144,87 @@ func TestStoreRecoversFromAnyTruncation(t *testing.T) {
 	}
 }
 
+// TestStoreDeltaReplayAcrossReopen proves the mutation record survives the
+// full durability cycle: append deltas, reopen, and the recovered graph is
+// the post-application edge list at the right generation — then compact and
+// reopen again, proving snapshots fold the applied graph in.
+func TestStoreDeltaReplayAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, Config{Dir: dir})
+	g := fuzzSeedGraph() // 5 vertices, edges (0,1)(1,2)(2,0)(2,3)(3,4)
+	if err := s.AppendAdd("fp-d", "delta target", g); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 1: insert (3,5) growing the graph, delete (2,0).
+	g1, err := applyOps(g, DeltaRecord{NewN: 6, Ops: []DeltaOp{
+		{Del: false, U: 3, V: 5}, {Del: true, U: 2, V: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDelta(DeltaRecord{ID: "fp-d", Gen: 1, NewN: 6, PostFP: "cfp-1",
+		Ops: []DeltaOp{{Del: false, U: 3, V: 5}, {Del: true, U: 2, V: 0}}}, g1); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2: re-insert (2,0) — lands at the end of the edge list.
+	g2, err := applyOps(g1, DeltaRecord{NewN: 6, Ops: []DeltaOp{{Del: false, U: 2, V: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDelta(DeltaRecord{ID: "fp-d", Gen: 2, NewN: 6, PostFP: "cfp-2",
+		Ops: []DeltaOp{{Del: false, U: 2, V: 0}}}, g2); err != nil {
+		t.Fatal(err)
+	}
+	// A delta against an unregistered graph is refused.
+	if err := s.AppendDelta(DeltaRecord{ID: "nope", Gen: 1, NewN: 3}, g2); err == nil {
+		t.Fatal("AppendDelta accepted an unknown graph id")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(rec *Recovery) {
+		t.Helper()
+		if len(rec.Graphs) != 1 {
+			t.Fatalf("recovered %d graphs, want 1", len(rec.Graphs))
+		}
+		gr := rec.Graphs[0]
+		if gr.FP != "fp-d" || gr.Gen != 2 || gr.CFP != "cfp-2" {
+			t.Fatalf("recovered fp=%s gen=%d cfp=%s", gr.FP, gr.Gen, gr.CFP)
+		}
+		if gr.Graph.NumVertices() != 6 {
+			t.Fatalf("recovered %d vertices, want 6", gr.Graph.NumVertices())
+		}
+		wantEdges := g2.Edges()
+		gotEdges := gr.Graph.Edges()
+		if len(gotEdges) != len(wantEdges) {
+			t.Fatalf("recovered %d edges, want %d", len(gotEdges), len(wantEdges))
+		}
+		for i := range wantEdges {
+			if gotEdges[i] != wantEdges[i] {
+				t.Fatalf("edge %d: %v, want %v (order must be preserved)", i, gotEdges[i], wantEdges[i])
+			}
+		}
+	}
+
+	s, rec := openT(t, Config{Dir: dir})
+	check(rec)
+	// Fold into a snapshot and recover from that instead of the WAL replay.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, rec = openT(t, Config{Dir: dir})
+	if rec.SnapshotRecords != 1 {
+		t.Fatalf("snapshot records %d, want 1", rec.SnapshotRecords)
+	}
+	check(rec)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestStoreCompactionPreservesStateAndShrinksWAL(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := openT(t, Config{Dir: dir})

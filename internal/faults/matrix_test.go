@@ -10,6 +10,7 @@ import (
 
 	"bicc"
 	"bicc/internal/faults"
+	"bicc/internal/incr"
 	"bicc/internal/par"
 	"bicc/internal/shard"
 )
@@ -185,6 +186,130 @@ func TestFaultMatrixShardBuild(t *testing.T) {
 						if len(set.Shards[b].Vertices) != len(tree.VerticesOfBlock(b)) {
 							t.Fatalf("delayed build corrupted block %d", b)
 						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFaultMatrixIncr extends the matrix to the incremental-apply sites:
+// for every fault kind at incr.apply and incr.rebuild, a faulted Apply must
+// return a typed error with the State byte-identical to before the batch —
+// the precondition the service's degrade-to-full path relies on — after
+// which a full recompute of the final edge list must yield exactly the
+// labels a scratch engine run produces. A pure delay must commit normally.
+// (Importing the incr package also adds both sites to Sites(), so the
+// engine matrices above cover them vacuously — engines never mutate.)
+func TestFaultMatrixIncr(t *testing.T) {
+	defer faults.Deactivate()
+	g := matrixGraph(t)
+	seqRun := func(ctx context.Context, rg *bicc.Graph) (*bicc.Result, error) {
+		return bicc.BiconnectedComponentsCtx(ctx, rg, &bicc.Options{Algorithm: bicc.Sequential})
+	}
+	kinds := []faults.Kind{faults.KindPanic, faults.KindDelay, faults.KindCancel}
+	for _, site := range []string{"incr.apply", "incr.rebuild"} {
+		for _, kind := range kinds {
+			t.Run(site+"/"+kind.String(), func(t *testing.T) {
+				res, err := seqRun(context.Background(), g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := incr.NewState(g, res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				before := st.Labels()
+				edgesBefore := st.NumEdges()
+				// A structural batch: delete the inter-ring bridge and insert
+				// a cross-ring edge — several blocks go dirty, so both sites
+				// fire.
+				batch := []incr.Delta{
+					{Op: incr.OpDelete, U: 0, V: 192},
+					{Op: incr.OpInsert, U: 5, V: 200},
+				}
+
+				r := faults.NewRule(kind, site)
+				switch kind {
+				case faults.KindPanic, faults.KindCancel:
+					r.Count = 1
+				case faults.KindDelay:
+					r.Count = 3
+					r.Delay = time.Millisecond
+				}
+				faults.Activate(&faults.Plan{Seed: 1, Rules: []*faults.Rule{r}})
+				// Threshold 1: never degrade on region size, so the rebuild
+				// path (and its fault site) actually runs for this batch.
+				stats, aerr := st.Apply(context.Background(), batch, incr.Config{Threshold: 1}, seqRun)
+				faults.Deactivate()
+
+				if kind == faults.KindDelay {
+					if aerr != nil {
+						t.Fatalf("a pure delay must not fail the apply: %v", aerr)
+					}
+					if stats.Mode == incr.ModeAbsorb {
+						t.Fatalf("structural batch reported mode %v", stats.Mode)
+					}
+				} else {
+					if aerr == nil {
+						t.Fatal("faulted apply reported success")
+					}
+					var pe *par.PanicError
+					var ip *faults.InjectedPanic
+					switch {
+					case errors.As(aerr, &ip):
+					case errors.Is(aerr, faults.ErrInjected):
+					case errors.As(aerr, &pe):
+					default:
+						t.Fatalf("untyped error %T: %v", aerr, aerr)
+					}
+					// Atomicity: the failed batch must have left no trace.
+					if st.NumEdges() != edgesBefore {
+						t.Fatalf("faulted apply mutated the edge list: %d edges, had %d",
+							st.NumEdges(), edgesBefore)
+					}
+					for i, c := range st.Labels() {
+						if c != before[i] {
+							t.Fatalf("faulted apply relabeled edge %d: %d, had %d", i, c, before[i])
+						}
+					}
+					// Degrade to full, exactly as the service does: recompute
+					// the final edge list from scratch and rebuild the state.
+					newN, final, perr := st.Preview(batch)
+					if perr != nil {
+						t.Fatalf("preview after fault: %v", perr)
+					}
+					fg, gerr := bicc.NewGraph(int(newN), final)
+					if gerr != nil {
+						t.Fatal(gerr)
+					}
+					fres, rerr := seqRun(context.Background(), fg)
+					if rerr != nil {
+						t.Fatalf("degraded full recompute: %v", rerr)
+					}
+					st, err = incr.NewState(fg, fres)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				// Either path must now match a scratch run on the state's own
+				// edge list, label for label.
+				sg, gerr := st.Graph()
+				if gerr != nil {
+					t.Fatal(gerr)
+				}
+				want, werr := seqRun(context.Background(), sg)
+				if werr != nil {
+					t.Fatal(werr)
+				}
+				labels := st.Labels()
+				if st.NumComponents() != want.NumComponents {
+					t.Fatalf("components %d, scratch %d", st.NumComponents(), want.NumComponents)
+				}
+				for i, c := range want.EdgeComponent {
+					if labels[i] != c {
+						t.Fatalf("edge %d labeled %d, scratch %d", i, labels[i], c)
 					}
 				}
 			})

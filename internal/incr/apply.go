@@ -1,0 +1,469 @@
+package incr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"bicc"
+	"bicc/internal/conncomp"
+	"bicc/internal/faults"
+	"bicc/internal/graph"
+	"bicc/internal/par"
+)
+
+// Recompute runs an engine over a graph and returns its decomposition. Apply
+// calls it for the dirty region (ModeRebuild) or the whole final graph
+// (ModeFull); the service wires it to the same supervised engine trunk that
+// serves queries, so breakers and fallbacks apply to incremental work too.
+type Recompute func(ctx context.Context, g *bicc.Graph) (*bicc.Result, error)
+
+// batch is the validated form of one delta sequence.
+type batch struct {
+	newN    int32
+	dels    []int32      // indices into the current edge list, unique
+	inserts []graph.Edge // appended edges in batch order
+}
+
+// validate checks every delta against the state (with earlier deltas of the
+// same batch applied, so "delete then re-insert" is legal while duplicates
+// and missing edges are rejected) and resolves deletes to edge indices. It
+// mutates nothing.
+func (s *State) validate(deltas []Delta) (*batch, error) {
+	b := &batch{newN: s.n}
+	added := make(map[uint64]struct{})
+	removed := make(map[uint64]struct{})
+	for i, d := range deltas {
+		if d.U < 0 || d.V < 0 {
+			return nil, &DeltaError{i, d, "negative vertex"}
+		}
+		if d.U == d.V {
+			return nil, &DeltaError{i, d, "self loop"}
+		}
+		key := graph.CanonKey(d.U, d.V)
+		switch d.Op {
+		case OpInsert:
+			if _, dup := added[key]; dup {
+				return nil, &DeltaError{i, d, "duplicate of an insert earlier in this batch"}
+			}
+			if _, ok := s.index[key]; ok {
+				if _, rem := removed[key]; !rem {
+					return nil, &DeltaError{i, d, "edge already present"}
+				}
+			}
+			added[key] = struct{}{}
+			b.inserts = append(b.inserts, graph.Edge{U: d.U, V: d.V})
+			if d.U >= b.newN {
+				b.newN = d.U + 1
+			}
+			if d.V >= b.newN {
+				b.newN = d.V + 1
+			}
+		case OpDelete:
+			if _, ok := added[key]; ok {
+				return nil, &DeltaError{i, d, "edge was inserted earlier in this batch"}
+			}
+			idx, ok := s.index[key]
+			if !ok {
+				return nil, &DeltaError{i, d, "edge not present"}
+			}
+			if _, rem := removed[key]; rem {
+				return nil, &DeltaError{i, d, "edge already deleted in this batch"}
+			}
+			removed[key] = struct{}{}
+			b.dels = append(b.dels, idx)
+		default:
+			return nil, &DeltaError{i, d, "unknown op"}
+		}
+	}
+	return b, nil
+}
+
+// assembleFinal builds the post-batch edge list: surviving edges in their
+// current order, then the batch's inserts in submission order. This is the
+// edge order a from-scratch upload of the final graph must use for answers
+// to compare byte-for-byte.
+func assembleFinal(edges []graph.Edge, del []bool, inserts []graph.Edge) []graph.Edge {
+	out := make([]graph.Edge, 0, len(edges)+len(inserts))
+	for i, e := range edges {
+		if del == nil || !del[i] {
+			out = append(out, e)
+		}
+	}
+	return append(out, inserts...)
+}
+
+// Preview validates a batch and returns the vertex count and edge list the
+// graph will have after it. Callers persist mutations (WAL append with the
+// post-state fingerprint) between Preview and Apply; a batch that passes
+// Preview can only fail Apply for runtime reasons (faults, cancellation,
+// engine errors), never validation.
+func (s *State) Preview(deltas []Delta) (newN int32, final []graph.Edge, err error) {
+	b, err := s.validate(deltas)
+	if err != nil {
+		return 0, nil, err
+	}
+	del := make([]bool, len(s.edges))
+	for _, i := range b.dels {
+		del[i] = true
+	}
+	return b.newN, assembleFinal(s.edges, del, b.inserts), nil
+}
+
+// Apply commits a batch. It classifies every delta against the current
+// block-cut structure, absorbs intra-block inserts in place, and recomputes
+// the union of the dirty blocks (or, past the size threshold, the whole
+// graph) via run. On error the State is unchanged — the caller can degrade
+// to a full recompute of the final edge list and rebuild a fresh State.
+func (s *State) Apply(ctx context.Context, deltas []Delta, cfg Config, run Recompute) (st *ApplyStats, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			st, err = nil, par.AsPanicError(-1, v)
+		}
+	}()
+	b, err := s.validate(deltas)
+	if err != nil {
+		return nil, err
+	}
+	cancel := &par.Canceler{}
+	stop := cancel.Watch(ctx)
+	defer stop()
+
+	// Classification pass, one fault point per delta.
+	for i := range deltas {
+		faults.Inject(cancel, SiteApply, 0, i)
+		if err := cancel.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	del := make([]bool, len(s.edges))
+	dirty := make(map[int32]bool)
+	for _, i := range b.dels {
+		del[i] = true
+		dirty[s.comp[i]] = true
+	}
+
+	// Classify inserts: an intra-block insert is an absorb candidate; a
+	// structural insert makes each endpoint that lives in some block a
+	// terminal of the Steiner closure below.
+	type ins struct {
+		e      graph.Edge
+		absorb int32 // block to absorb into, or -1
+	}
+	inserts := make([]ins, len(b.inserts))
+	var termVerts []int32
+	for k, e := range b.inserts {
+		sb := int32(-1)
+		if e.U < s.n && e.V < s.n {
+			sb = s.sharedBlock(e.U, e.V)
+		}
+		inserts[k] = ins{e: e, absorb: sb}
+		if sb < 0 {
+			for _, v := range [2]int32{e.U, e.V} {
+				if v < s.n && len(s.BlocksOfVertex(v)) > 0 {
+					termVerts = append(termVerts, v)
+				}
+			}
+		}
+	}
+
+	// Steiner closure: every cycle through a new edge decomposes into new
+	// edges and paths between terminals, and a path between two vertices
+	// only crosses blocks on their block-cut tree path — so dirtying the
+	// minimal subtrees spanning each component's terminals covers every
+	// block a structural insert can merge.
+	s.steinerClose(termVerts, dirty)
+
+	// Absorb candidates whose shared block went dirty join the region: the
+	// block's identity is being recomputed, so the new edge must be labeled
+	// by the engine along with it. (No terminals needed: a cycle through an
+	// intra-block edge that escapes its block must ride structural inserts,
+	// whose terminals already dirty every block such a cycle can touch.)
+	absorbed := 0
+	structural := 0
+	for k := range inserts {
+		if inserts[k].absorb >= 0 && dirty[inserts[k].absorb] {
+			inserts[k].absorb = -1
+		}
+		if inserts[k].absorb >= 0 {
+			absorbed++
+		} else {
+			structural++
+		}
+	}
+
+	stats := &ApplyStats{
+		Deltas:      len(deltas),
+		Inserts:     len(b.inserts),
+		Deletes:     len(b.dels),
+		Absorbed:    absorbed,
+		DirtyBlocks: len(dirty),
+	}
+
+	// Pure absorb: nothing structural anywhere in the batch. O(batch)
+	// commit, no engine, routing index untouched (both endpoints were
+	// already in the target block).
+	if len(dirty) == 0 && structural == 0 {
+		touched := make(map[int32]bool, len(inserts))
+		for _, in := range inserts {
+			s.index[graph.CanonKey(in.e.U, in.e.V)] = int32(len(s.edges))
+			s.edges = append(s.edges, in.e)
+			s.comp = append(s.comp, in.absorb)
+			touched[in.absorb] = true
+		}
+		stats.Mode = ModeAbsorb
+		stats.NumComponents = s.numComp
+		stats.TouchedBlocks = sortedKeys(touched)
+		return stats, nil
+	}
+
+	finalCount := len(s.edges) - len(b.dels) + len(b.inserts)
+	regionEdges := structural
+	for i, c := range s.comp {
+		if !del[i] && dirty[c] {
+			regionEdges++
+		}
+	}
+	stats.RegionEdges = regionEdges
+	if finalCount > 0 {
+		stats.RegionRatio = float64(regionEdges) / float64(finalCount)
+	}
+
+	if stats.RegionRatio > cfg.threshold() {
+		// The dirty region covers too much of the graph: locality
+		// bookkeeping would cost more than it saves. Full engine run.
+		if run == nil {
+			return nil, fmt.Errorf("incr: full recompute needed but no engine provided")
+		}
+		final := assembleFinal(s.edges, del, b.inserts)
+		g, err := bicc.NewGraph(int(b.newN), final)
+		if err != nil {
+			return nil, fmt.Errorf("incr: final graph: %w", err)
+		}
+		res, err := run(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		comp := append([]int32(nil), res.EdgeComponent...)
+		if len(comp) != g.NumEdges() {
+			return nil, fmt.Errorf("incr: engine labeled %d of %d edges", len(comp), g.NumEdges())
+		}
+		s.n = b.newN
+		s.edges = final
+		s.numComp = conncomp.Normalize(comp)
+		s.comp = comp
+		s.reindex()
+		stats.Mode = ModeFull
+		stats.Absorbed = 0
+		stats.NumComponents = s.numComp
+		return stats, nil
+	}
+
+	if run == nil {
+		return nil, fmt.Errorf("incr: rebuild needed but no engine provided")
+	}
+
+	// Region assembly, one fault point per dirty block.
+	dirtyIDs := sortedKeys(dirty)
+	for j := range dirtyIDs {
+		faults.Inject(cancel, SiteRebuild, 0, j)
+		if err := cancel.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Build the final edge list and, in the same pass, the compact region
+	// subgraph. src[i] is the final label source of final edge i: an old
+	// block id (>= 0, survives untouched) or -(r+1) for region edge r.
+	local := make(map[int32]int32)
+	var vm []int32
+	var regionSub []graph.Edge
+	addRegion := func(e graph.Edge) int32 {
+		for _, v := range [2]int32{e.U, e.V} {
+			if _, ok := local[v]; !ok {
+				local[v] = int32(len(vm))
+				vm = append(vm, v)
+			}
+		}
+		regionSub = append(regionSub, graph.Edge{U: local[e.U], V: local[e.V]})
+		return int32(len(regionSub) - 1)
+	}
+	finalEdges := make([]graph.Edge, 0, finalCount)
+	src := make([]int32, 0, finalCount)
+	for i, e := range s.edges {
+		if del[i] {
+			continue
+		}
+		finalEdges = append(finalEdges, e)
+		if dirty[s.comp[i]] {
+			src = append(src, -(addRegion(e) + 1))
+		} else {
+			src = append(src, s.comp[i])
+		}
+	}
+	for _, in := range inserts {
+		finalEdges = append(finalEdges, in.e)
+		if in.absorb >= 0 {
+			src = append(src, in.absorb)
+		} else {
+			src = append(src, -(addRegion(in.e) + 1))
+		}
+	}
+
+	rg, err := bicc.NewGraph(len(vm), regionSub)
+	if err != nil {
+		return nil, fmt.Errorf("incr: region subgraph: %w", err)
+	}
+	rres, err := run(ctx, rg)
+	if err != nil {
+		return nil, err
+	}
+	if len(rres.EdgeComponent) != len(regionSub) {
+		return nil, fmt.Errorf("incr: engine labeled %d of %d region edges",
+			len(rres.EdgeComponent), len(regionSub))
+	}
+
+	// Stitch: untouched blocks keep their identity, region edges take the
+	// engine's labels shifted past the old id space, then the whole labeling
+	// is re-densified into first-occurrence order — byte-identical to what
+	// any engine emits for the final edge list.
+	labels := make([]int32, len(finalEdges))
+	for i, sc := range src {
+		if sc >= 0 {
+			labels[i] = sc
+		} else {
+			labels[i] = int32(s.numComp) + rres.EdgeComponent[-sc-1]
+		}
+	}
+	k := conncomp.Normalize(labels)
+
+	touched := make(map[int32]bool)
+	for i, sc := range src {
+		if sc < 0 {
+			touched[labels[i]] = true
+		}
+	}
+	for i, in := range inserts {
+		if in.absorb >= 0 {
+			// Absorbed edges sit at the end of the final list, after the
+			// survivors: position = len(survivors) + i.
+			touched[labels[len(finalEdges)-len(inserts)+i]] = true
+		}
+	}
+
+	s.n = b.newN
+	s.edges = finalEdges
+	s.comp = labels
+	s.numComp = k
+	s.reindex()
+	stats.Mode = ModeRebuild
+	stats.NumComponents = k
+	stats.TouchedBlocks = sortedKeys(touched)
+	return stats, nil
+}
+
+// steinerClose marks dirty every block on the minimal block-cut subtree
+// spanning each component's terminal vertices. Tree nodes are blocks
+// [0, numComp) and cut vertices numbered from numComp up.
+func (s *State) steinerClose(termVerts []int32, dirty map[int32]bool) {
+	if len(termVerts) < 2 {
+		return
+	}
+	// A terminal vertex maps to its cut node, or to its only block.
+	// Terminals are deduplicated by VERTEX, not by tree node: two distinct
+	// terminal vertices attached to the same block mean a real path through
+	// that block's edges, so the block must go dirty even though the tree
+	// path between the two attachment nodes is trivial. (A single vertex
+	// appearing as the endpoint of several structural inserts contributes
+	// nothing by itself — a cycle can pass through the vertex without
+	// touching any block's edges.)
+	node := func(v int32) int32 {
+		if cn := s.cutIdx[v]; cn >= 0 {
+			return cn
+		}
+		return s.BlocksOfVertex(v)[0]
+	}
+	terms := make([]int32, 0, len(termVerts)) // one node per distinct terminal vertex
+	seen := make(map[int32]bool, len(termVerts))
+	for _, v := range termVerts {
+		if !seen[v] {
+			seen[v] = true
+			terms = append(terms, node(v))
+		}
+	}
+
+	numNodes := len(s.bcOff) - 1
+	compID := make([]int32, numNodes)
+	parent := make([]int32, numNodes)
+	for i := range compID {
+		compID[i] = -1
+	}
+	// Early-stopping BFS over the materialized forest: each search runs
+	// until every terminal node anywhere has been visited, so a batch whose
+	// terminals cluster in one region explores only the ball around them —
+	// the forest outside the ball is never walked. Terminals a search can't
+	// reach sit in other forest components and seed later searches.
+	pending := make(map[int32]bool, len(terms))
+	for _, t := range terms {
+		pending[t] = true
+	}
+	var queue []int32
+	for ci, t := range terms {
+		if compID[t] != -1 {
+			continue
+		}
+		// t is the root every other terminal in its component walks up to.
+		compID[t] = int32(ci)
+		parent[t] = -1
+		delete(pending, t)
+		queue = append(queue[:0], t)
+		for len(queue) > 0 && len(pending) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range s.bcAdj[s.bcOff[x]:s.bcOff[x+1]] {
+				if compID[y] == -1 {
+					compID[y] = int32(ci)
+					parent[y] = x
+					delete(pending, y)
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	groups := make(map[int32][]int32)
+	for _, t := range terms {
+		groups[compID[t]] = append(groups[compID[t]], t)
+	}
+	marked := make([]bool, numNodes)
+	for _, g := range groups {
+		if len(g) < 2 {
+			// One distinct terminal vertex in this component: no
+			// terminal-to-terminal path exists, nothing merges here.
+			continue
+		}
+		// g[0] initiated the BFS for this component (terminals are visited
+		// in order), so every parent chain terminates at it.
+		marked[g[0]] = true
+		for _, t := range g[1:] {
+			for x := t; x != -1 && !marked[x]; x = parent[x] {
+				marked[x] = true
+			}
+		}
+	}
+	for id := 0; id < s.numComp; id++ {
+		if marked[id] {
+			dirty[int32(id)] = true
+		}
+	}
+}
+
+// sortedKeys returns the keys of a block set, ascending.
+func sortedKeys(m map[int32]bool) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,368 @@
+// Package incr maintains a biconnected-components decomposition under
+// batched edge insertions and deletions, recomputing as little as possible.
+//
+// A State holds the current edge list, the canonical per-edge block labels
+// (first-occurrence dense numbering — exactly what every engine emits for
+// the same edge list), and a CSR vertex→block routing index. Apply runs a
+// batch of deltas through a planner that classifies each one against the
+// current block-cut structure:
+//
+//   - An insert whose endpoints already share a block cannot change any
+//     articulation structure — two vertices of one block are already
+//     biconnected, so the new edge joins that block and nothing else moves.
+//     Such inserts are absorbed in place in O(1) with no engine run.
+//   - Everything structural — deletes, cross-block and cross-component
+//     inserts, edges to new vertices — marks blocks dirty. A delete dirties
+//     exactly the block of the deleted edge (every cycle lies inside one
+//     block, so no other block can change). Structural inserts make their
+//     endpoints terminals, and the dirty set is closed over the Steiner
+//     subtrees of the terminals in the block-cut forest: any cycle through
+//     a new edge decomposes into new edges and paths between terminals, and
+//     a path between two vertices only traverses blocks on their block-cut
+//     tree path, so the closure provably contains every block a new edge
+//     can merge. Absorb candidates whose shared block lands in the dirty
+//     set are demoted to region edges.
+//   - The union of the dirty blocks' surviving edges plus the structural
+//     inserts is recomputed as one compact subgraph by a real engine and
+//     stitched back into the labeling, which is then re-canonicalized so
+//     the result is byte-identical to a from-scratch run on the final edge
+//     list. When the region exceeds a size-ratio threshold of the final
+//     graph, Apply degrades to a full engine run instead (the adaptive
+//     fallback: locality bookkeeping is not worth it for global damage).
+//
+// Apply is atomic: it either commits the whole batch or returns an error
+// leaving the State untouched, so a faulted incremental apply can always be
+// retried as a full recompute. The incr.apply and incr.rebuild fault sites
+// cover the classification loop and the per-dirty-block region assembly.
+package incr
+
+import (
+	"fmt"
+	"sort"
+
+	"bicc"
+	"bicc/internal/conncomp"
+	"bicc/internal/faults"
+	"bicc/internal/graph"
+)
+
+// Fault sites. incr.apply fires once per delta during classification;
+// incr.rebuild fires once per dirty block while the recompute region is
+// assembled. Both are cancelable.
+var (
+	SiteApply   = faults.RegisterSite("incr.apply", true)
+	SiteRebuild = faults.RegisterSite("incr.rebuild", true)
+)
+
+// Op is a mutation kind.
+type Op uint8
+
+const (
+	// OpInsert adds an edge, appended at the end of the edge list. Endpoints
+	// beyond the current vertex count grow the graph.
+	OpInsert Op = iota
+	// OpDelete removes an existing edge; later edges shift down one index,
+	// preserving their relative order.
+	OpDelete
+)
+
+// String returns the wire name of the op.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ParseOp maps a wire name back to an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "insert":
+		return OpInsert, nil
+	case "delete":
+		return OpDelete, nil
+	}
+	return 0, fmt.Errorf("incr: unknown op %q", s)
+}
+
+// Delta is one edge mutation.
+type Delta struct {
+	Op   Op
+	U, V int32
+}
+
+// DeltaError reports an invalid delta — a client error, detected before
+// anything is written. It is distinct from runtime failures (injected
+// faults, engine errors, cancellation), after which the caller should
+// degrade to a full recompute instead of rejecting the batch.
+type DeltaError struct {
+	Index  int
+	Delta  Delta
+	Reason string
+}
+
+func (e *DeltaError) Error() string {
+	return fmt.Sprintf("incr: delta %d (%s %d,%d): %s",
+		e.Index, e.Delta.Op, e.Delta.U, e.Delta.V, e.Reason)
+}
+
+// Mode is the path a batch took through Apply.
+type Mode uint8
+
+const (
+	// ModeAbsorb: every delta was an intra-block insert; no engine ran.
+	ModeAbsorb Mode = iota
+	// ModeRebuild: the union of the dirty blocks was recomputed and
+	// stitched back; untouched blocks kept their labels.
+	ModeRebuild
+	// ModeFull: the dirty region exceeded the threshold (or an incremental
+	// attempt faulted) and the whole final graph was recomputed.
+	ModeFull
+)
+
+// String names the mode as exported in metrics.
+func (m Mode) String() string {
+	switch m {
+	case ModeAbsorb:
+		return "absorb"
+	case ModeRebuild:
+		return "rebuild"
+	case ModeFull:
+		return "full"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// DefaultThreshold is the region/final edge ratio above which Apply
+// degrades to a full engine run.
+const DefaultThreshold = 0.5
+
+// Config tunes Apply.
+type Config struct {
+	// Threshold is the dirty-region size ratio (region edges over final
+	// edges) above which Apply gives up on locality and recomputes the
+	// whole graph. <= 0 means DefaultThreshold; >= 1 never degrades on
+	// size.
+	Threshold float64
+}
+
+func (c Config) threshold() float64 {
+	if c.Threshold <= 0 {
+		return DefaultThreshold
+	}
+	return c.Threshold
+}
+
+// ApplyStats describes what one committed batch did.
+type ApplyStats struct {
+	Deltas      int
+	Inserts     int
+	Deletes     int
+	Absorbed    int     // inserts absorbed in place without an engine run
+	DirtyBlocks int     // blocks invalidated by structural deltas
+	RegionEdges int     // edges handed to the engine in ModeRebuild
+	RegionRatio float64 // RegionEdges / final edge count
+	Mode        Mode
+	// NumComponents is the block count after the batch.
+	NumComponents int
+	// TouchedBlocks lists the post-batch ids of blocks that were created or
+	// relabeled by this batch, ascending; the complement survived the
+	// mutation untouched. Nil in ModeFull (everything was recomputed).
+	TouchedBlocks []int32
+}
+
+// State is a maintained decomposition. It is not safe for concurrent use;
+// callers serialize Apply against readers.
+type State struct {
+	n       int32
+	edges   []graph.Edge
+	comp    []int32
+	numComp int
+
+	// CSR vertex→block routing index: blocks containing v are
+	// blocks[offsets[v]:offsets[v+1]], ascending and unique.
+	offsets []int32
+	blocks  []int32
+	// index maps graph.CanonKey(u,v) to the edge's current index.
+	index map[uint64]int32
+
+	// Block-cut forest CSR, rebuilt alongside the routing index: nodes are
+	// blocks [0, numComp) then cut vertices; cutIdx[v] is v's forest node
+	// id, or -1 for non-cut vertices. Keeping the forest materialized lets
+	// steinerClose BFS only the ball around a batch's terminals instead of
+	// reconstructing the whole forest per batch.
+	cutIdx []int32
+	bcOff  []int32
+	bcAdj  []int32
+}
+
+// NewState captures a decomposition as incremental state. The labels are
+// re-canonicalized defensively (engines already emit first-occurrence
+// numbering, but reconstructed results from older on-disk state may not).
+func NewState(g *bicc.Graph, res *bicc.Result) (*State, error) {
+	if g == nil || res == nil {
+		return nil, fmt.Errorf("incr: nil graph or result")
+	}
+	edges := g.Edges()
+	if len(res.EdgeComponent) != len(edges) {
+		return nil, fmt.Errorf("incr: result labels %d edges, graph has %d",
+			len(res.EdgeComponent), len(edges))
+	}
+	comp := append([]int32(nil), res.EdgeComponent...)
+	numComp := conncomp.Normalize(comp)
+	s := &State{
+		n:       int32(g.NumVertices()),
+		edges:   append([]graph.Edge(nil), edges...),
+		comp:    comp,
+		numComp: numComp,
+	}
+	s.reindex()
+	return s, nil
+}
+
+// reindex rebuilds the CSR routing index and the edge-key map from the
+// current edges and labels.
+func (s *State) reindex() {
+	s.index = make(map[uint64]int32, len(s.edges))
+	for i, e := range s.edges {
+		s.index[graph.CanonKey(e.U, e.V)] = int32(i)
+	}
+	// Vertex→block lists: bucket both endpoints of every edge, then sort
+	// and dedup per vertex.
+	deg := make([]int32, s.n+1)
+	for _, e := range s.edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for v := int32(0); v < s.n; v++ {
+		deg[v+1] += deg[v]
+	}
+	raw := make([]int32, deg[s.n])
+	next := make([]int32, s.n)
+	copy(next, deg[:s.n])
+	for i, e := range s.edges {
+		c := s.comp[i]
+		raw[next[e.U]] = c
+		next[e.U]++
+		raw[next[e.V]] = c
+		next[e.V]++
+	}
+	offsets := make([]int32, s.n+1)
+	blocks := make([]int32, 0, len(raw))
+	for v := int32(0); v < s.n; v++ {
+		lst := raw[deg[v]:deg[v+1]]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		start := len(blocks)
+		for i, c := range lst {
+			if i == 0 || c != lst[i-1] {
+				blocks = append(blocks, c)
+			}
+		}
+		offsets[v] = int32(start)
+		offsets[v+1] = int32(len(blocks))
+	}
+	s.offsets = offsets
+	s.blocks = blocks
+
+	// Block-cut forest: a cut vertex (member of >= 2 blocks) links to each
+	// of its blocks. Non-cut vertices are interior to one block and don't
+	// appear as forest nodes.
+	cutIdx := make([]int32, s.n)
+	numNodes := int32(s.numComp)
+	for v := int32(0); v < s.n; v++ {
+		if offsets[v+1]-offsets[v] >= 2 {
+			cutIdx[v] = numNodes
+			numNodes++
+		} else {
+			cutIdx[v] = -1
+		}
+	}
+	fdeg := make([]int32, numNodes+1)
+	for v := int32(0); v < s.n; v++ {
+		cn := cutIdx[v]
+		if cn < 0 {
+			continue
+		}
+		fdeg[cn+1] += offsets[v+1] - offsets[v]
+		for _, b := range blocks[offsets[v]:offsets[v+1]] {
+			fdeg[b+1]++
+		}
+	}
+	for i := int32(0); i < numNodes; i++ {
+		fdeg[i+1] += fdeg[i]
+	}
+	bcAdj := make([]int32, fdeg[numNodes])
+	fnext := make([]int32, numNodes)
+	copy(fnext, fdeg[:numNodes])
+	for v := int32(0); v < s.n; v++ {
+		cn := cutIdx[v]
+		if cn < 0 {
+			continue
+		}
+		for _, b := range blocks[offsets[v]:offsets[v+1]] {
+			bcAdj[fnext[cn]] = b
+			fnext[cn]++
+			bcAdj[fnext[b]] = cn
+			fnext[b]++
+		}
+	}
+	s.cutIdx = cutIdx
+	s.bcOff = fdeg
+	s.bcAdj = bcAdj
+}
+
+// N returns the current vertex count.
+func (s *State) N() int { return int(s.n) }
+
+// NumEdges returns the current edge count.
+func (s *State) NumEdges() int { return len(s.edges) }
+
+// NumComponents returns the current block count.
+func (s *State) NumComponents() int { return s.numComp }
+
+// Edges returns the current edge list. The slice is shared; callers must
+// not modify it.
+func (s *State) Edges() []graph.Edge { return s.edges }
+
+// Labels returns a copy of the canonical per-edge block labels.
+func (s *State) Labels() []int32 { return append([]int32(nil), s.comp...) }
+
+// BlocksOfVertex returns the ids of the blocks containing v, ascending;
+// nil for isolated or out-of-range vertices. The slice aliases the index.
+func (s *State) BlocksOfVertex(v int32) []int32 {
+	if v < 0 || v >= s.n {
+		return nil
+	}
+	lo, hi := s.offsets[v], s.offsets[v+1]
+	if lo == hi {
+		return nil
+	}
+	return s.blocks[lo:hi:hi]
+}
+
+// sharedBlock returns the block containing both u and v, or -1. Two
+// vertices share at most one block (two blocks intersect in at most one
+// vertex), so the first intersection is the only one.
+func (s *State) sharedBlock(u, v int32) int32 {
+	a, b := s.BlocksOfVertex(u), s.BlocksOfVertex(v)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return a[i]
+		}
+	}
+	return -1
+}
+
+// Graph materializes the current edge list as a bicc.Graph.
+func (s *State) Graph() (*bicc.Graph, error) {
+	return bicc.NewGraph(int(s.n), s.edges)
+}

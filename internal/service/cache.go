@@ -14,17 +14,30 @@ import (
 // resultKey identifies a cacheable computation: same graph content, same
 // algorithm, same worker count. Procs is part of the key because the
 // algorithm actually run (and its phase timings) depend on it — Auto
-// resolves to Sequential at p=1.
+// resolves to Sequential at p=1. gen is the graph's mutation generation:
+// a mutated graph keeps its stable id, so the generation is what separates
+// results computed against different edge lists under one fingerprint.
 type resultKey struct {
 	fp    string
+	gen   uint64
 	algo  bicc.Algorithm
 	procs int
+}
+
+// spillFP renders the graph-identity part of the durable key: the bare
+// fingerprint at generation 0 (byte-compatible with records spilled by
+// older builds) and fp@gen once mutated.
+func (k resultKey) spillFP() string {
+	if k.gen == 0 {
+		return k.fp
+	}
+	return fmt.Sprintf("%s@%d", k.fp, k.gen)
 }
 
 // durableKey renders the key in the spill tier's naming scheme, matching
 // durable.ResultRecord.Key.
 func (k resultKey) durableKey() string {
-	return fmt.Sprintf("%s-%s-%d", k.fp, k.algo.String(), k.procs)
+	return fmt.Sprintf("%s-%s-%d", k.spillFP(), k.algo.String(), k.procs)
 }
 
 // cacheEntry is one computation, either in flight or completed. ready is
@@ -257,6 +270,40 @@ func (c *ResultCache) promoteLocked(key resultKey) (*queryResult, bool) {
 	return res, true
 }
 
+// DropGraph invalidates every result computed for a graph id, across all
+// generations, algorithms, and proc counts — in memory and in the spill
+// tier. Nothing is demoted to disk on the way out: the graph changed, so
+// the results are wrong, not cold. In-flight computations are unhooked from
+// the map (their waiters still get the answer they asked for against the
+// snapshot they pinned, but the entry is never cached). Returns how many
+// completed or in-flight entries were dropped.
+func (c *ResultCache) DropGraph(fp string) int {
+	c.mu.Lock()
+	dropped := 0
+	for key, e := range c.entries {
+		if key.fp != fp {
+			continue
+		}
+		if e.done {
+			if e.elem != nil {
+				c.lru.Remove(e.elem)
+			}
+			c.bytes -= e.bytes
+		}
+		delete(c.entries, key)
+		dropped++
+	}
+	sp := c.spill
+	c.mu.Unlock()
+	if sp != nil {
+		// Spilled keys are "<fp>-algo-procs" (gen 0) or "<fp>@gen-algo-procs";
+		// fingerprints are fixed-width hex, so the prefix cannot collide with
+		// another graph's keys.
+		sp.RemovePrefix(fp)
+	}
+	return dropped
+}
+
 // enforceBudgetLocked demotes (or, with no disk tier, drops) completed
 // entries LRU-first until both the entry-count and byte budgets hold.
 // keep, the entry being inserted, is exempt: an oversized result must
@@ -284,7 +331,7 @@ func (c *ResultCache) demoteLocked(key resultKey, e *cacheEntry) {
 	if c.spill != nil && e.res != nil && e.res.edgeComp != nil {
 		if view, err := json.Marshal(e.res); err == nil {
 			_ = c.spill.Put(durable.ResultRecord{
-				FP:            key.fp,
+				FP:            key.spillFP(),
 				Algorithm:     key.algo.String(),
 				Procs:         key.procs,
 				EdgeComponent: e.res.edgeComp,

@@ -101,12 +101,23 @@ func (s *Server) EnableDurability(cfg DurabilityConfig) (*RecoveryReport, error)
 		DroppedRecords: rec.DroppedRecords,
 	}
 	for _, gr := range rec.Graphs {
-		if Fingerprint(gr.Graph) != gr.FP {
+		// A mutated graph's content no longer hashes to its stable id: the
+		// current content fingerprint recorded by the last delta is what the
+		// replayed edge list must match.
+		want := gr.FP
+		if gr.Gen > 0 {
+			want = gr.CFP
+		}
+		if Fingerprint(gr.Graph) != want {
 			_ = store.AppendRemove(gr.FP)
 			report.DroppedGraphs++
 			continue
 		}
-		s.registry.Add(gr.Name, gr.Graph)
+		if gr.Gen > 0 {
+			s.registry.AddAt(gr.FP, gr.Name, gr.Graph, gr.Gen, gr.CFP)
+		} else {
+			s.registry.Add(gr.Name, gr.Graph)
+		}
 		report.Graphs++
 	}
 	d.recoveredGraphs = int64(report.Graphs)

@@ -29,6 +29,12 @@ func Fingerprint(g *bicc.Graph) string {
 }
 
 // GraphInfo is the public description of a registered graph.
+//
+// Fingerprint is the graph's stable id: the content fingerprint at upload
+// time. Mutations (POST /v1/graphs/{fp}/edges) keep the id but advance
+// Generation and ContentFP — the fingerprint of the current edge list.
+// Both are omitted from JSON while the graph is unmutated (generation 0),
+// so listings of never-mutated graphs are byte-identical to older builds.
 type GraphInfo struct {
 	Fingerprint string `json:"fingerprint"`
 	Name        string `json:"name,omitempty"`
@@ -36,6 +42,8 @@ type GraphInfo struct {
 	Edges       int    `json:"edges"`
 	Bytes       int64  `json:"bytes"`
 	Refs        int    `json:"refs"`
+	Generation  uint64 `json:"generation,omitempty"`
+	ContentFP   string `json:"content_fingerprint,omitempty"`
 }
 
 // regEntry is one registered graph plus its bookkeeping.
@@ -130,15 +138,92 @@ func (r *Registry) Add(name string, g *bicc.Graph) (fp string, existed bool) {
 // Acquire pins the graph with the given fingerprint and returns it. The
 // caller must Release exactly once when done.
 func (r *Registry) Acquire(fp string) (*bicc.Graph, bool) {
+	g, _, ok := r.AcquireInfo(fp)
+	return g, ok
+}
+
+// AcquireInfo pins the graph and returns it together with its info in one
+// registry transaction. Queries that key caches by generation must use this
+// instead of Acquire+Get, or a concurrent mutation could hand them the old
+// graph pointer paired with the new generation.
+func (r *Registry) AcquireInfo(fp string) (*bicc.Graph, GraphInfo, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.entries[fp]
 	if !ok || e.dead {
-		return nil, false
+		return nil, GraphInfo{}, false
 	}
 	e.refs++
 	e.lastUse = time.Now()
-	return e.g, true
+	info := e.info
+	info.Refs = e.refs
+	return e.g, info, true
+}
+
+// Replace swaps the graph stored under an existing stable id for its
+// post-mutation edge list, advancing the generation and current content
+// fingerprint. Queries holding the old pointer via Acquire keep computing
+// against the snapshot they pinned; new acquires see the new graph. It
+// reports whether the id was present (and live).
+func (r *Registry) Replace(fp string, g *bicc.Graph, gen uint64, cfp string) bool {
+	r.mu.Lock()
+	e, ok := r.entries[fp]
+	if !ok || e.dead {
+		r.mu.Unlock()
+		return false
+	}
+	r.bytes -= e.info.Bytes
+	e.g = g
+	e.info.Vertices = g.NumVertices()
+	e.info.Edges = g.NumEdges()
+	e.info.Bytes = graphBytes(g)
+	e.info.Generation = gen
+	e.info.ContentFP = cfp
+	r.bytes += e.info.Bytes
+	e.lastUse = time.Now()
+	victims := r.evictLocked(e)
+	cb := r.onEvict
+	r.mu.Unlock()
+	if cb != nil {
+		for _, v := range victims {
+			cb(v)
+		}
+	}
+	return true
+}
+
+// AddAt registers g under an explicit stable id at a given generation — the
+// durable-recovery path, where a mutated graph's content no longer hashes to
+// its id. Unlike Add it never merges with an existing entry; recovery runs
+// before the server takes traffic.
+func (r *Registry) AddAt(fp, name string, g *bicc.Graph, gen uint64, cfp string) {
+	r.mu.Lock()
+	e := &regEntry{
+		info: GraphInfo{
+			Fingerprint: fp,
+			Name:        name,
+			Vertices:    g.NumVertices(),
+			Edges:       g.NumEdges(),
+			Bytes:       graphBytes(g),
+			Generation:  gen,
+			ContentFP:   cfp,
+		},
+		g:       g,
+		lastUse: time.Now(),
+	}
+	if old, ok := r.entries[fp]; ok {
+		r.bytes -= old.info.Bytes
+	}
+	r.entries[fp] = e
+	r.bytes += e.info.Bytes
+	victims := r.evictLocked(e)
+	cb := r.onEvict
+	r.mu.Unlock()
+	if cb != nil {
+		for _, v := range victims {
+			cb(v)
+		}
+	}
 }
 
 // Release unpins a graph previously Acquired. Releasing the last reference

@@ -22,8 +22,8 @@
 // connections. /healthz reports "degraded" while any breaker is open and
 // "draining" during graceful shutdown.
 //
-// Endpoints: POST/GET/DELETE /v1/graphs, POST /v1/bcc, GET /healthz,
-// GET /statsz.
+// Endpoints: POST/GET/DELETE /v1/graphs, POST /v1/graphs/{fp}/edges
+// (batched edge mutations), POST /v1/bcc, GET /healthz, GET /statsz.
 package service
 
 import (
@@ -87,6 +87,11 @@ type Config struct {
 	// returned to clients as errors instead of degraded results. Breakers
 	// still track faults.
 	NoFallback bool
+	// IncrThreshold is the dirty-region size ratio above which an edge
+	// mutation degrades to a full recompute instead of a block-scoped
+	// rebuild; <= 0 means incr.DefaultThreshold, >= 1 never degrades on
+	// size.
+	IncrThreshold float64
 	// Compute runs one BCC query. Nil means bicc.BiconnectedComponentsCtx;
 	// tests substitute instrumented engines.
 	Compute func(ctx context.Context, g *bicc.Graph, opt *bicc.Options) (*bicc.Result, error)
@@ -154,6 +159,10 @@ type Server struct {
 	// shards is the shard-by-component query state when EnableSharding has
 	// been called, nil otherwise — the same zero-cost-off discipline as dur.
 	shards atomic.Pointer[shardState]
+	// incr is the incremental-mutation subsystem: per-graph maintained
+	// decompositions fed by POST /v1/graphs/{fp}/edges. Always on — an
+	// unmutated server pays one nil-map lookup per query.
+	incr *incrState
 }
 
 // New returns a Server with the given configuration.
@@ -168,6 +177,7 @@ func New(cfg Config) *Server {
 		breakers:  map[string]*Breaker{},
 	}
 	s.stats = newStats(s.metrics)
+	s.incr = newIncrState(s.metrics, cfg.IncrThreshold)
 	for _, a := range []bicc.Algorithm{bicc.Auto, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
 		s.breakers[a.String()] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
@@ -235,6 +245,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleList)
 	mux.HandleFunc("GET /v1/graphs/{fp}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{fp}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{fp}/edges", s.handleMutate)
+	mux.HandleFunc("POST /v1/graph/{fp}/edges", s.handleMutate) // singular alias
 	mux.HandleFunc("POST /v1/bcc", s.handleBCC)
 	mux.HandleFunc("GET /v1/block/{id}", s.handleBlock)
 	mux.HandleFunc("GET /v1/vertex/{v}/blocks", s.handleVertexBlocks)
@@ -483,12 +495,14 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no graph %q", fp)
 		return
 	}
-	// Shard state is derived from the graph; an explicit delete drops every
-	// decomposition's shards along with it. (Space evictions don't: the
-	// state is content-addressed, so it is still valid if the graph comes
-	// back, and the budget already bounds what it can hold.)
+	// Incremental state, cached results, and shard sets all die with the
+	// graph: generations restart at 0 if the same content is re-uploaded,
+	// so anything keyed under a non-zero generation of this id must not
+	// survive to be confused with the next incarnation's generations.
+	s.incr.drop(fp)
+	s.cache.DropGraph(fp)
 	if sh := s.shards.Load(); sh != nil {
-		sh.mgr.RemovePrefix(fp + "-")
+		sh.mgr.RemovePrefix(fp)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -522,6 +536,10 @@ type queryResult struct {
 	// engine. Degraded results are correct but are never cached.
 	Degraded      bool   `json:"degraded,omitempty"`
 	DegradedCause string `json:"degraded_cause,omitempty"`
+	// Incr marks a result derived from the maintained incremental labels of
+	// a mutated graph instead of an engine run. Identical bytes either way;
+	// the flag is for observability.
+	Incr bool `json:"incr,omitempty"`
 	// Trace is the span breakdown of the computation that produced this
 	// result (admission wait, engine attempts, pipeline phases). It rides
 	// the cache entry but is only serialized for requests asking ?trace=1.
@@ -579,7 +597,10 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 	if procs < 0 {
 		procs = 0
 	}
-	g, ok := s.registry.Acquire(req.Graph)
+	// Graph pointer and generation come from one registry transaction: a
+	// concurrent mutation must never pair the old edge list with the new
+	// generation in a cache key.
+	g, info, ok := s.registry.AcquireInfo(req.Graph)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no graph %q (upload it via POST /v1/graphs first)", req.Graph)
 		return
@@ -593,8 +614,14 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	key := resultKey{fp: req.Graph, algo: algo, procs: procs}
+	key := resultKey{fp: req.Graph, gen: info.Generation, algo: algo, procs: procs}
 	res, err, outcome := s.cache.Do(ctx, key, func(cctx context.Context) (*queryResult, error) {
+		// Mutated graphs carry maintained labels: derive the answer from
+		// them instead of running an engine when they describe exactly the
+		// acquired graph pointer.
+		if qr, ok := s.incrServe(req.Graph, g, algo, procs, include); ok {
+			return qr, nil
+		}
 		return s.compute(cctx, g, algo, procs, include)
 	})
 	switch outcome {
@@ -846,6 +873,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	if st := s.shards.Load(); st != nil {
 		snap.Sharding = st.snapshot()
+	}
+	if s.incr.batches.Load() > 0 {
+		snap.Incr = s.incr.snapshot()
 	}
 	return snap
 }

@@ -158,7 +158,8 @@ func (e *degradedResultError) Error() string {
 type shardQuery struct {
 	st    *shardState
 	fp    string
-	key   string // fp-algorithm-procs, the manager and spill key
+	key   string // fp[@gen]-algorithm-procs, the manager and spill key
+	gen   uint64
 	algo  bicc.Algorithm
 	procs int
 	g     *bicc.Graph
@@ -246,7 +247,7 @@ func (s *Server) resolveShard(w http.ResponseWriter, r *http.Request) (q *shardQ
 			return nil, nil, nil, false
 		}
 	}
-	g, okG := s.registry.Acquire(fp)
+	g, info, okG := s.registry.AcquireInfo(fp)
 	if !okG {
 		writeError(w, http.StatusNotFound, "no graph %q (upload it via POST /v1/graphs first)", fp)
 		return nil, nil, nil, false
@@ -261,8 +262,8 @@ func (s *Server) resolveShard(w http.ResponseWriter, r *http.Request) (q *shardQ
 	release := func() { cancel(); s.registry.Release(fp) }
 
 	q = &shardQuery{
-		st: st, fp: fp, algo: algo, procs: procs, g: g,
-		key: resultKey{fp: fp, algo: algo, procs: procs}.durableKey(),
+		st: st, fp: fp, gen: info.Generation, algo: algo, procs: procs, g: g,
+		key: resultKey{fp: fp, gen: info.Generation, algo: algo, procs: procs}.durableKey(),
 	}
 	if !s.routeShard(w, cctx, q) {
 		release()
@@ -275,6 +276,11 @@ func (s *Server) resolveShard(w http.ResponseWriter, r *http.Request) (q *shardQ
 // writing the error response itself when neither is possible.
 func (s *Server) routeShard(w http.ResponseWriter, ctx context.Context, q *shardQuery) bool {
 	set, err := q.st.mgr.Do(ctx, q.key, func(bctx context.Context) (*shard.Set, error) {
+		// A mutated graph's maintained labels build the shard set directly —
+		// no engine run, no degradation risk.
+		if res, ok := s.incrReconstruct(q.fp, q.g, q.algo, q.procs); ok {
+			return shard.BuildSet(bctx, q.key, q.g, res)
+		}
 		res, _, routedCause, err := s.runEngine(bctx, q.g, q.algo, q.procs)
 		if err != nil {
 			return nil, err
@@ -331,8 +337,11 @@ func (s *Server) routeShard(w http.ResponseWriter, ctx context.Context, q *shard
 // labels. Degraded engine output stays uncached there too, so a faulting
 // shard build can never poison either cache.
 func (s *Server) monolithicFallback(w http.ResponseWriter, ctx context.Context, q *shardQuery) bool {
-	key := resultKey{fp: q.fp, algo: q.algo, procs: q.procs}
+	key := resultKey{fp: q.fp, gen: q.gen, algo: q.algo, procs: q.procs}
 	qres, err, _ := s.cache.Do(ctx, key, func(cctx context.Context) (*queryResult, error) {
+		if qr, ok := s.incrServe(q.fp, q.g, q.algo, q.procs, nil); ok {
+			return qr, nil
+		}
 		return s.compute(cctx, q.g, q.algo, q.procs, nil)
 	})
 	if err != nil {

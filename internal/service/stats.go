@@ -92,6 +92,9 @@ type StatsSnapshot struct {
 	// Sharding is present only when EnableSharding has been called; a
 	// non-sharded bccd's /statsz is unchanged.
 	Sharding *ShardingSnapshot `json:"sharding,omitempty"`
+	// Incr is present once the first edge mutation has been acknowledged; an
+	// unmutated bccd's /statsz is unchanged.
+	Incr *IncrSnapshot `json:"incr,omitempty"`
 }
 
 // BreakerSnapshot is one algorithm's circuit-breaker state on /statsz.
