@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fuzz-durable fuzz-shard test-shard test-incr fuzz-incr race-service test-crash fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fuzz-durable fuzz-shard test-shard test-incr fuzz-incr race-service test-crash test-repl test-failover fmt vet clean
 
 all: build test
 
@@ -102,6 +102,25 @@ race-service:
 test-crash:
 	$(GO) test ./cmd/bccd -run 'Crash|SIGTERM' -count=1 -v
 
+# Replication suite. test-repl runs the protocol/stream tests (ordering,
+# ring-overflow snapshot resync, gap detection, quorum degrade), the router
+# tests (hedging, most-caught-up promotion, mutation refusal), and the
+# service-level differential harness: a warm standby must answer every graph
+# family byte-equal to its primary under all four engines, refuse writes
+# read-only, and leave a data directory that is a valid PR 4 recovery image
+# — all race-enabled. The delete-vs-mutation race test rides along.
+test-repl:
+	$(GO) test -race ./internal/repl -count=1
+	$(GO) test -race -run 'Replication|Promotion|StandbyWAL|PrimaryAlone|DeleteRacesMutation' ./internal/service -count=1
+
+# Node-kill chaos harness: primary and standby bccd as separate processes,
+# the primary SIGKILLed at the repl.ship/repl.ack fault sites mid-batch
+# (and the standby at repl.promote mid-promotion), then router-driven
+# failover asserted to serve every acked record byte-identical with the
+# un-acked tail handled per site.
+test-failover:
+	$(GO) test ./cmd/bccd -run 'NodeKill' -count=1 -v
+
 # Static analysis for the obs package beyond go vet. staticcheck is optional:
 # the target degrades to a notice when the tool isn't installed.
 lint-obs:
@@ -116,8 +135,10 @@ lint-obs:
 # fault-isolation suite, the observability suite, the durability suite
 # (decoder fuzzing, race-enabled service tests, crash harness), the shard
 # suite (differential harness + codec fuzzing), the incremental suite
-# (mutation differential harness + delta fuzzing), and a benchmark snapshot.
-ci: vet lint-obs race test-faults test-obs fuzz-durable test-shard fuzz-shard test-incr fuzz-incr race-service test-crash bench-json
+# (mutation differential harness + delta fuzzing), the replication suite
+# (standby differential harness + multi-process node-kill failover), and a
+# benchmark snapshot.
+ci: vet lint-obs race test-faults test-obs fuzz-durable test-shard fuzz-shard test-incr fuzz-incr race-service test-crash test-repl test-failover bench-json
 
 fmt:
 	gofmt -l -w .

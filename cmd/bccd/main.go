@@ -12,7 +12,9 @@
 //	     [-data-dir DIR] [-wal-sync always|interval|none]
 //	     [-wal-sync-interval D] [-compact-bytes B] [-mem-budget B]
 //	     [-spill-budget B] [-shard] [-shard-budget B] [-shard-spill-budget B]
-//	     [-incr-threshold R]
+//	     [-incr-threshold R] [-replay-log-every N]
+//	     [-repl-listen ADDR] [-repl-follow ADDR] [-repl-quorum N]
+//	     [-repl-ack-timeout D]
 //
 // With -data-dir set, the daemon is durable: every acknowledged graph
 // upload is fsync'd to a write-ahead log before the response is sent,
@@ -32,6 +34,15 @@
 // -shard-spill-budget) and promote back on demand; without -data-dir the
 // layer is memory-only. If a shard build fails, the query is answered
 // through the monolithic cached path and marked degraded.
+//
+// With -repl-listen, a durable daemon is a replication primary: every WAL
+// record (graph uploads, deletes, mutation deltas) streams to connected
+// standbys, which ack once the record is fsync'd in their own WAL. With
+// -repl-follow ADDR, the daemon is a warm standby instead: it follows the
+// primary at ADDR, replays the stream into its own registry and WAL, serves
+// reads, and answers writes with 503 until POST /v1/admin/promote flips it
+// to primary (re-checking every graph fingerprint, exactly as boot
+// recovery). Both flags require -data-dir.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new work is rejected with
 // 503 (health and stats stay readable), in-flight requests get
@@ -62,6 +73,7 @@
 //	                         (?graph=fp, requires -shard)
 //	GET    /v1/vertex/{v}/blocks        block ids containing v (-shard)
 //	GET    /v1/vertex/{v}/articulation  articulation membership of v (-shard)
+//	POST   /v1/admin/promote promote a standby to primary (replication)
 //	GET    /healthz          liveness
 //	GET    /statsz           cache hit rate, queue depth, latency histograms
 //	GET    /metrics          Prometheus text exposition (engine + service)
@@ -134,6 +146,11 @@ func main() {
 	shardBudget := flag.Int64("shard-budget", 0, "resident byte budget for shard state; past it shards demote (0 = unlimited)")
 	shardSpillBudget := flag.Int64("shard-spill-budget", 0, "disk budget for demoted shards under <data-dir>/shards (0 = unlimited)")
 	incrThreshold := flag.Float64("incr-threshold", 0, "dirty-region edge ratio past which a mutation degrades to a full engine run (0 = 0.5)")
+	replayLogEvery := flag.Int("replay-log-every", 5000, "log boot WAL-replay progress every N records (0 = silent)")
+	replListen := flag.String("repl-listen", "", "serve WAL replication to standbys on this address (requires -data-dir)")
+	replFollow := flag.String("repl-follow", "", "run as a warm standby following the primary's -repl-listen address (requires -data-dir)")
+	replQuorum := flag.Int("repl-quorum", 0, "standby acks to wait for per write before answering the client (0 = 1; degrades on timeout)")
+	replAckTimeout := flag.Duration("repl-ack-timeout", 0, "bound on the per-write standby-ack wait (0 = 2s)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a graph at startup: name=path or just path (repeatable; format by extension)")
 	flag.Parse()
@@ -162,19 +179,41 @@ func main() {
 			log.Fatalf("-wal-sync: %v", err)
 		}
 		rep, err := srv.EnableDurability(service.DurabilityConfig{
-			Dir:          *dataDir,
-			Sync:         mode,
-			SyncInterval: *walSyncInterval,
-			CompactBytes: *compactBytes,
-			SpillBudget:  *spillBudget,
-			MemBudget:    *memBudget,
+			Dir:            *dataDir,
+			Sync:           mode,
+			SyncInterval:   *walSyncInterval,
+			CompactBytes:   *compactBytes,
+			SpillBudget:    *spillBudget,
+			MemBudget:      *memBudget,
+			ReplayLogEvery: *replayLogEvery,
+			Logf:           log.Printf,
 		})
 		if err != nil {
 			log.Fatalf("-data-dir %s: %v", *dataDir, err)
 		}
-		log.Printf("recovered %d graphs from %s in %v (truncations %d, dropped %d, spilled results %d, verified %d, verify failures %d)",
+		log.Printf("recovered %d graphs from %s in %v (truncations %d, dropped %d, wal records %d, snapshot records %d, spilled results %d, verified %d, verify failures %d)",
 			rep.Graphs, *dataDir, rep.Duration.Round(time.Millisecond), rep.Truncations,
-			rep.DroppedGraphs+rep.DroppedRecords, rep.SpilledResults, rep.VerifiedResults, rep.VerifyFailures)
+			rep.DroppedGraphs+rep.DroppedRecords, rep.WALRecords, rep.SnapshotRecords,
+			rep.SpilledResults, rep.VerifiedResults, rep.VerifyFailures)
+	}
+	if *replListen != "" || *replFollow != "" {
+		if *dataDir == "" {
+			log.Fatalf("-repl-listen/-repl-follow require -data-dir (replication ships the WAL)")
+		}
+		if err := srv.EnableReplication(service.ReplConfig{
+			ListenAddr: *replListen,
+			FollowAddr: *replFollow,
+			Quorum:     *replQuorum,
+			AckTimeout: *replAckTimeout,
+			Logf:       log.Printf,
+		}); err != nil {
+			log.Fatalf("replication: %v", err)
+		}
+		if *replFollow != "" {
+			log.Printf("standby: following %s (read-only until promoted)", *replFollow)
+		} else {
+			log.Printf("primary: replicating WAL on %s", srv.ReplAddr())
+		}
 	}
 	if *shardOn {
 		cfg := service.ShardingConfig{
@@ -269,7 +308,9 @@ func main() {
 	// Flush and close the WAL only after the HTTP server has stopped: every
 	// acknowledged write is already on disk (or in the sync loop's hands),
 	// and closing last guarantees a clean stop leaves files the next boot
-	// recovers with zero truncations.
+	// recovers with zero truncations. Replication stops first — no more
+	// records will be published.
+	srv.CloseReplication()
 	if derr := srv.CloseDurability(); derr != nil {
 		log.Printf("closing data dir: %v", derr)
 	}

@@ -5,21 +5,38 @@
 // Usage:
 //
 //	bccjson [-scale 0.1] [-reps 3] [-p procs] [-all] [-o BENCH_1.json]
+//	        [-addr URL]
 //
 // By default only the first paper instance (m = 4n) is timed; -all sweeps
 // the full Fig. 3 workload.
+//
+// With -addr, the measurements run through a live bccd instead of
+// in-process: each instance is uploaded once (content-addressed, so reruns
+// are free) and every algorithm is queried -reps times over HTTP. The
+// first query per (algorithm, procs) pays the engine run; the rest hit the
+// server's cache, so the reported median is end-to-end service latency —
+// the number a client of the daemon actually sees — while speedup is still
+// computed from the engines' own elapsed_ns. 429s and 503s (admission
+// pushback, drains, failovers behind a router) are retried with jittered
+// backoff honoring Retry-After, so a benchmark run survives a primary
+// failover instead of aborting.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"bicc"
 	"bicc/internal/bench"
+	"bicc/internal/httpretry"
 )
 
 type benchRecord struct {
@@ -47,6 +64,7 @@ func main() {
 	procs := flag.Int("p", 0, "worker count for the parallel algorithms (0 = GOMAXPROCS)")
 	all := flag.Bool("all", false, "time every paper instance, not just m=4n")
 	out := flag.String("o", "BENCH_1.json", "output file (- for stdout)")
+	addr := flag.String("addr", "", "measure through a running bccd at this base URL instead of in-process")
 	flag.Parse()
 
 	p := *procs
@@ -58,6 +76,31 @@ func main() {
 		instances = instances[:1]
 	}
 	report := benchReport{Scale: *scale, Reps: *reps, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	if *addr != "" {
+		serviceBench(&report, *addr, instances, p, *reps)
+	} else {
+		localBench(&report, instances, p, *reps)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d measurements)\n", *out, len(report.Benchmarks))
+}
+
+// localBench runs the engines in-process, the tool's original mode.
+func localBench(report *benchReport, instances []bench.Instance, p, reps int) {
 	for _, in := range instances {
 		g := in.Build()
 		var seqTime time.Duration
@@ -66,7 +109,7 @@ func main() {
 			if algo.Name == "sequential" {
 				ap = 1
 			}
-			m, err := bench.Run(in, g, algo, ap, *reps)
+			m, err := bench.Run(in, g, algo, ap, reps)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -85,20 +128,109 @@ func main() {
 			log.Printf("%-8s %-10s p=%-2d median %v", in.Name, m.Algo, ap, m.Time.Round(time.Microsecond))
 		}
 	}
+}
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		log.Fatal(err)
+// serviceBench uploads each instance to a running bccd and measures every
+// algorithm through /v1/bcc. MedianNs is end-to-end request latency;
+// Speedup compares the engines' server-reported elapsed_ns.
+func serviceBench(report *benchReport, addr string, instances []bench.Instance, p, reps int) {
+	base := strings.TrimRight(addr, "/")
+	client := &httpretry.Client{
+		HTTP: &http.Client{Timeout: 5 * time.Minute},
+		// Uploads are content-addressed and queries are side-effect free:
+		// everything here is idempotent, so transport errors retry too (a
+		// failover mid-request lands the repeat on the promoted node).
+		Policy: httpretry.Policy{RetryTransportErrors: true, Logf: log.Printf},
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		if _, err := os.Stdout.Write(data); err != nil {
-			log.Fatal(err)
+	for _, in := range instances {
+		el := in.Build()
+		g, err := bicc.NewGraph(int(el.N), el.Edges)
+		if err != nil {
+			log.Fatalf("%s: %v", in.Name, err)
 		}
-		return
+		var buf strings.Builder
+		if err := bicc.WriteGraph(&buf, g); err != nil {
+			log.Fatalf("%s: serializing: %v", in.Name, err)
+		}
+		resp, err := client.Post(base+"/v1/graphs?name="+in.Name, "text/plain", []byte(buf.String()))
+		if err != nil {
+			log.Fatalf("%s: uploading: %v", in.Name, err)
+		}
+		var info struct {
+			Fingerprint string `json:"fingerprint"`
+		}
+		if err := decodeBody(resp, &info); err != nil {
+			log.Fatalf("%s: uploading: %v", in.Name, err)
+		}
+		var seqEngine time.Duration
+		for _, algo := range bench.Algos() {
+			ap := p
+			if algo.Name == "sequential" {
+				ap = 1
+			}
+			var lats []time.Duration
+			var engine time.Duration
+			for rep := 0; rep < reps; rep++ {
+				body, _ := json.Marshal(map[string]any{
+					"graph": info.Fingerprint, "algorithm": algo.Name, "procs": ap,
+				})
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/bcc", "application/json", body)
+				if err != nil {
+					log.Fatalf("%s %s: %v", in.Name, algo.Name, err)
+				}
+				lats = append(lats, time.Since(t0))
+				var qr struct {
+					ElapsedNs int64 `json:"elapsed_ns"`
+				}
+				if err := decodeBody(resp, &qr); err != nil {
+					log.Fatalf("%s %s: %v", in.Name, algo.Name, err)
+				}
+				engine = time.Duration(qr.ElapsedNs)
+			}
+			median := medianDuration(lats)
+			if algo.Name == "sequential" {
+				seqEngine = engine
+			}
+			speedup := 0.0
+			if engine > 0 {
+				speedup = float64(seqEngine) / float64(engine)
+			}
+			report.Benchmarks = append(report.Benchmarks, benchRecord{
+				Instance:  in.Name,
+				N:         in.N,
+				M:         in.M,
+				Algorithm: algo.Name,
+				Procs:     ap,
+				MedianNs:  int64(median),
+				Speedup:   speedup,
+			})
+			log.Printf("%-8s %-10s p=%-2d median %v (engine %v)",
+				in.Name, algo.Name, ap, median.Round(time.Microsecond), engine.Round(time.Microsecond))
+		}
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+}
+
+// decodeBody reads resp's JSON into v, turning non-200s into errors.
+func decodeBody(resp *http.Response, v any) error {
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if err != nil {
+		return err
 	}
-	fmt.Printf("wrote %s (%d measurements)\n", *out, len(report.Benchmarks))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(payload)))
+	}
+	return json.Unmarshal(payload, v)
+}
+
+// medianDuration returns the middle element of lats.
+func medianDuration(lats []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), lats...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
 }

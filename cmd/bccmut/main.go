@@ -29,7 +29,6 @@ package main
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +43,7 @@ import (
 	"time"
 
 	"bicc"
+	"bicc/internal/httpretry"
 )
 
 type delta struct {
@@ -111,7 +111,13 @@ func main() {
 	}
 
 	url := strings.TrimRight(*addr, "/") + "/v1/graphs/" + *graphFP + "/edges"
-	client := &http.Client{Timeout: *timeout}
+	// 429/503 are refused-before-effect, so resending a mutation batch on
+	// them is safe; transport errors are not retried — the batch may have
+	// committed, and replaying it would double-apply.
+	client := &httpretry.Client{
+		HTTP:   &http.Client{Timeout: *timeout},
+		Policy: httpretry.Policy{Logf: log.Printf},
+	}
 	var lats []time.Duration
 	byMode := map[string][]time.Duration{}
 	totalOps := 0
@@ -119,7 +125,7 @@ func main() {
 	for i, b := range batches {
 		body, _ := json.Marshal(map[string]any{"deltas": b})
 		t0 := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := client.Post(url, "application/json", body)
 		if err != nil {
 			log.Fatalf("batch %d: %v", i, err)
 		}

@@ -97,6 +97,12 @@ type Config struct {
 	// FsyncObserve, when non-nil, receives the duration of every WAL fsync
 	// (the obs latency histogram hook).
 	FsyncObserve func(time.Duration)
+	// ReplayLogEvery makes Open report replay progress through Logf every
+	// that many WAL records, so a long recovery is never silent. <= 0
+	// disables progress logging.
+	ReplayLogEvery int
+	// Logf receives replay progress lines; nil disables them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +149,7 @@ type Store struct {
 	state      map[string]GraphRecord
 	closed     bool
 	compacting bool
+	appendObs  func(kind byte, payload []byte)
 
 	appends       atomic.Int64
 	walErrors     atomic.Int64
@@ -250,6 +257,7 @@ func Open(cfg Config) (*Store, *Recovery, error) {
 	}
 
 	// Replay WAL generations at or after the snapshot, oldest first.
+	replayed := 0
 	for _, g := range walGens {
 		if g < snapGen {
 			_ = os.Remove(walPath(cfg.Dir, g)) // superseded by the snapshot
@@ -270,6 +278,10 @@ func Open(cfg Config) (*Store, *Recovery, error) {
 		}
 		rec.WALRecords += len(recs)
 		for _, r := range recs {
+			replayed++
+			if cfg.ReplayLogEvery > 0 && cfg.Logf != nil && replayed%cfg.ReplayLogEvery == 0 {
+				cfg.Logf("durable: WAL replay progress: %d records, %d graphs live, gen %d", replayed, len(s.state), g)
+			}
 			switch r.kind {
 			case recGraphAdd:
 				s.state[r.graph.FP] = r.graph
@@ -454,6 +466,9 @@ func (s *Store) appendLocked(kind byte, payload []byte) error {
 	faults.Inject(nil, siteWALSync, 0, seq)
 	s.walSize += int64(len(hdr) + len(payload))
 	s.appends.Add(1)
+	if s.appendObs != nil {
+		s.appendObs(kind, payload)
+	}
 	return nil
 }
 

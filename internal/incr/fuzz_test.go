@@ -18,18 +18,18 @@ import (
 // deletes, self loops, vertex growth, and delete-then-reinsert interleavings
 // without any guidance.
 func FuzzApplyDeltas(f *testing.F) {
-	f.Add([]byte{0, 0, 4})                               // cross-block insert
-	f.Add([]byte{1, 0, 1, 0, 0, 1})                      // delete then re-insert
-	f.Add([]byte{0, 0, 2, 0, 2, 0})                      // insert + duplicate (reject)
-	f.Add([]byte{0, 0, 9, 0, 9, 10})                     // chain through new vertices
-	f.Add([]byte{1, 3, 4, 1, 4, 5, 0, 3, 5, 0, 1, 7})    // deletes + inserts mixed
-	f.Add([]byte{0, 5, 5})                               // self loop (reject)
-	f.Add([]byte{1, 0, 5})                               // absent delete (reject)
-	f.Add([]byte{0, 1, 3, 1, 1, 3})                      // insert then delete it (reject)
+	f.Add([]byte{0, 0, 4})                            // cross-block insert
+	f.Add([]byte{1, 0, 1, 0, 0, 1})                   // delete then re-insert
+	f.Add([]byte{0, 0, 2, 0, 2, 0})                   // insert + duplicate (reject)
+	f.Add([]byte{0, 0, 9, 0, 9, 10})                  // chain through new vertices
+	f.Add([]byte{1, 3, 4, 1, 4, 5, 0, 3, 5, 0, 1, 7}) // deletes + inserts mixed
+	f.Add([]byte{0, 5, 5})                            // self loop (reject)
+	f.Add([]byte{1, 0, 5})                            // absent delete (reject)
+	f.Add([]byte{0, 1, 3, 1, 1, 3})                   // insert then delete it (reject)
 
 	base := []graph.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle
-		{U: 2, V: 3},                             // bridge
+		{U: 2, V: 3},                                           // bridge
 		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 3}, // square
 	}
 	run := func(ctx context.Context, g *bicc.Graph) (*bicc.Result, error) {

@@ -1,0 +1,157 @@
+// Package repl is bccd's primary/standby replication subsystem. A primary
+// taps its durable store's WAL at the append observer (records arrive here
+// in exactly WAL order, post-fsync) and streams them over a length-prefixed
+// TCP protocol to N warm standbys, which replay each record into their own
+// registries and WALs before acking its sequence number. A standby that
+// reconnects with a stale cursor — or one the primary's retention ring can
+// no longer serve — is resynced with a full state snapshot. The package
+// also provides the Router: a thin HTTP front that forwards /v1/* to the
+// primary, hedges idempotent reads to standbys past a latency threshold,
+// and promotes the most-caught-up standby when the primary dies.
+//
+// The wire format deliberately reuses the WAL's record payloads: what ships
+// is the exact bytes the primary fsync'd, so a standby's disk state is
+// always a valid PR 4 recovery image and promotion is recovery plus a role
+// flip.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Message types. Frame: [type:1][len:u32 LE][crc:u32 LE over type++payload].
+const (
+	msgHello      = 1 // standby→primary: [epoch:u64][lastSeq:u64]
+	msgSnapBegin  = 2 // primary→standby: [epoch:u64][seq:u64][count:u32]
+	msgSnapRecord = 3 // primary→standby: [walKind:1][record payload]
+	msgSnapEnd    = 4 // primary→standby: [count:u32]
+	msgRecord     = 5 // primary→standby: [seq:u64][walKind:1][record payload]
+	msgAck        = 6 // standby→primary: [appliedSeq:u64]
+	msgPing       = 7 // primary→standby: [tipSeq:u64]
+)
+
+// maxMsgLen caps one message payload; a corrupt length field must not drive
+// a huge allocation. Graph records are bounded by the service's body cap
+// well below this.
+const maxMsgLen = 1 << 30
+
+var msgCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// writeMsg frames and writes one message. The caller flushes.
+func writeMsg(w *bufio.Writer, typ byte, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	crc := crc32.Update(crc32.Checksum(hdr[:1], msgCRCTable), msgCRCTable, payload)
+	binary.LittleEndian.PutUint32(hdr[5:9], crc)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMsg reads one framed message, validating length and CRC.
+func readMsg(r *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > maxMsgLen {
+		return 0, nil, fmt.Errorf("repl: message length %d exceeds cap", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	crc := crc32.Update(crc32.Checksum(hdr[:1], msgCRCTable), msgCRCTable, payload)
+	if crc != binary.LittleEndian.Uint32(hdr[5:9]) {
+		return 0, nil, fmt.Errorf("repl: message CRC mismatch")
+	}
+	return typ, payload, nil
+}
+
+// helloPayload renders a standby's handshake.
+func helloPayload(epoch, lastSeq uint64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b[0:8], epoch)
+	binary.LittleEndian.PutUint64(b[8:16], lastSeq)
+	return b
+}
+
+func parseHello(b []byte) (epoch, lastSeq uint64, err error) {
+	if len(b) != 16 {
+		return 0, 0, fmt.Errorf("repl: hello payload %d bytes, want 16", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), binary.LittleEndian.Uint64(b[8:16]), nil
+}
+
+func snapBeginPayload(epoch, seq uint64, count int) []byte {
+	b := make([]byte, 20)
+	binary.LittleEndian.PutUint64(b[0:8], epoch)
+	binary.LittleEndian.PutUint64(b[8:16], seq)
+	binary.LittleEndian.PutUint32(b[16:20], uint32(count))
+	return b
+}
+
+func parseSnapBegin(b []byte) (epoch, seq uint64, count int, err error) {
+	if len(b) != 20 {
+		return 0, 0, 0, fmt.Errorf("repl: snap-begin payload %d bytes, want 20", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), binary.LittleEndian.Uint64(b[8:16]),
+		int(binary.LittleEndian.Uint32(b[16:20])), nil
+}
+
+func recordPayload(seq uint64, kind byte, payload []byte) []byte {
+	b := make([]byte, 9+len(payload))
+	binary.LittleEndian.PutUint64(b[0:8], seq)
+	b[8] = kind
+	copy(b[9:], payload)
+	return b
+}
+
+func parseRecord(b []byte) (seq uint64, kind byte, payload []byte, err error) {
+	if len(b) < 9 {
+		return 0, 0, nil, fmt.Errorf("repl: record payload %d bytes, want >= 9", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), b[8], b[9:], nil
+}
+
+func u64Payload(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func parseU64(b []byte, what string) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("repl: %s payload %d bytes, want 8", what, len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func u32Payload(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return b
+}
+
+func parseU32(b []byte, what string) (uint32, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("repl: %s payload %d bytes, want 4", what, len(b))
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// StateRecord is one record of a full-state snapshot stream: a WAL record
+// kind plus its payload, exactly as the primary's durable state encodes it.
+type StateRecord struct {
+	Kind    byte
+	Payload []byte
+}

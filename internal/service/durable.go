@@ -34,6 +34,11 @@ type DurabilityConfig struct {
 	// VerifySample is how many recovered results are re-verified end to
 	// end (ReconstructResult + Verify) at boot; <= 0 means 3.
 	VerifySample int
+	// ReplayLogEvery makes boot-time WAL replay log a progress line every N
+	// records (through Logf); <= 0 disables progress lines.
+	ReplayLogEvery int
+	// Logf receives replay progress lines; nil disables them.
+	Logf func(format string, args ...any)
 }
 
 // RecoveryReport summarizes what EnableDurability found on disk, for the
@@ -43,6 +48,8 @@ type RecoveryReport struct {
 	DroppedGraphs   int           // recovered graphs whose fingerprint no longer matched
 	Truncations     int           // torn WAL/snapshot tails repaired
 	DroppedRecords  int           // framed records whose payload failed to decode
+	WALRecords      int           // WAL records replayed at boot
+	SnapshotRecords int           // snapshot records replayed at boot
 	SpilledResults  int           // results found in the spill tier
 	VerifiedResults int           // spilled results re-verified clean at boot
 	VerifyFailures  int           // spilled results that failed re-verification (deleted)
@@ -58,6 +65,8 @@ type durability struct {
 	recoveredGraphs int64
 	recoverySeconds float64
 	truncations     int64
+	walRecords      int64
+	snapRecords     int64
 	verifiedResults int64
 	verifyFailures  atomic.Int64
 }
@@ -76,17 +85,21 @@ func (s *Server) EnableDurability(cfg DurabilityConfig) (*RecoveryReport, error)
 	fsync := s.metrics.Histogram("bicc_wal_fsync_seconds",
 		"Latency of WAL fsync calls.")
 	store, rec, err := durable.Open(durable.Config{
-		Dir:          cfg.Dir,
-		Sync:         cfg.Sync,
-		SyncInterval: cfg.SyncInterval,
-		CompactBytes: cfg.CompactBytes,
-		FsyncObserve: fsync.Observe,
+		Dir:            cfg.Dir,
+		Sync:           cfg.Sync,
+		SyncInterval:   cfg.SyncInterval,
+		CompactBytes:   cfg.CompactBytes,
+		FsyncObserve:   fsync.Observe,
+		ReplayLogEvery: cfg.ReplayLogEvery,
+		Logf:           cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
 	}
 	d.store = store
 	d.truncations = int64(rec.Truncations)
+	d.walRecords = int64(rec.WALRecords)
+	d.snapRecords = int64(rec.SnapshotRecords)
 
 	// From here on, space evictions must reach the WAL too, or recovery
 	// would resurrect graphs the registry already let go. The observer
@@ -97,8 +110,10 @@ func (s *Server) EnableDurability(cfg DurabilityConfig) (*RecoveryReport, error)
 	// codec's CRC already rejects torn records, so a fingerprint mismatch
 	// here means silent corruption beyond the frame — drop it durably.
 	report := &RecoveryReport{
-		Truncations:    rec.Truncations,
-		DroppedRecords: rec.DroppedRecords,
+		Truncations:     rec.Truncations,
+		DroppedRecords:  rec.DroppedRecords,
+		WALRecords:      rec.WALRecords,
+		SnapshotRecords: rec.SnapshotRecords,
 	}
 	for _, gr := range rec.Graphs {
 		// A mutated graph's content no longer hashes to its stable id: the
@@ -243,6 +258,8 @@ type DurabilitySnapshot struct {
 	RecoveredGraphs int64   `json:"recovered_graphs"`
 	RecoverySeconds float64 `json:"recovery_seconds"`
 	Truncations     int64   `json:"wal_truncations"`
+	WALReplayed     int64   `json:"wal_replayed_records"`
+	SnapReplayed    int64   `json:"snapshot_records"`
 	WALBytes        int64   `json:"wal_bytes"`
 	WALGeneration   int64   `json:"wal_generation"`
 	WALAppends      int64   `json:"wal_appends"`
@@ -265,6 +282,8 @@ func (d *durability) snapshot(c *ResultCache) *DurabilitySnapshot {
 		RecoveredGraphs: d.recoveredGraphs,
 		RecoverySeconds: d.recoverySeconds,
 		Truncations:     d.truncations,
+		WALReplayed:     d.walRecords,
+		SnapReplayed:    d.snapRecords,
 		WALBytes:        d.store.WALBytes(),
 		WALGeneration:   int64(d.store.Generation()),
 		WALAppends:      d.store.Appends(),

@@ -272,6 +272,9 @@ type mutateResponse struct {
 // delete-then-reinsert is legal (the edge moves to the end), endpoints past
 // the vertex count grow the graph.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectStandby(w) {
+		return
+	}
 	start := time.Now()
 	fp := r.PathValue("fp")
 	var req mutateRequest
@@ -364,6 +367,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "persisting mutation: %v", err)
 			return
 		}
+		s.replWaitQuorum()
 	}
 
 	stats, aerr := e.st.Apply(ctx, deltas, incr.Config{Threshold: s.incr.threshold}, run)

@@ -159,6 +159,9 @@ type Server struct {
 	// shards is the shard-by-component query state when EnableSharding has
 	// been called, nil otherwise — the same zero-cost-off discipline as dur.
 	shards atomic.Pointer[shardState]
+	// repls is the replication state when EnableReplication has been
+	// called, nil otherwise.
+	repls atomic.Pointer[replState]
 	// incr is the incremental-mutation subsystem: per-graph maintained
 	// decompositions fed by POST /v1/graphs/{fp}/edges. Always on — an
 	// unmutated server pays one nil-map lookup per query.
@@ -251,6 +254,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/block/{id}", s.handleBlock)
 	mux.HandleFunc("GET /v1/vertex/{v}/blocks", s.handleVertexBlocks)
 	mux.HandleFunc("GET /v1/vertex/{v}/articulation", s.handleVertexArticulation)
+	mux.HandleFunc("POST /v1/admin/promote", s.handlePromote)
 	return PanicRecovery(s.drainGate(mux), func() { s.stats.HandlerPanics.Add(1) })
 }
 
@@ -348,6 +352,9 @@ type graphUploadResponse struct {
 // normalize=1 to drop self loops / duplicate edges instead of rejecting
 // them, name=<label>.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if s.rejectStandby(w) {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	q := r.URL.Query().Get("normalize")
 	g, loops, dups, err := readGraph(body, r.URL.Query().Get("format"), q == "1" || q == "true")
@@ -391,6 +398,9 @@ type openRequest struct {
 // Config.AllowLocalFiles). The format defaults by extension: .bin/.bicc →
 // binary, .col/.dimacs → dimacs, anything else text.
 func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	if s.rejectStandby(w) {
+		return
+	}
 	if !s.cfg.AllowLocalFiles {
 		writeError(w, http.StatusForbidden, "local file loading is disabled (start bccd with -allow-local-files)")
 		return
@@ -455,6 +465,10 @@ func (s *Server) AddGraph(name string, g *bicc.Graph) (fp string, existed bool, 
 			if err := d.store.AppendAdd(fp, name, g); err != nil {
 				return "", false, err
 			}
+			// Replication quorum: wait (bounded) for a standby to have the
+			// record before acking the client. Degrades, never fails — the
+			// record is already durable here.
+			s.replWaitQuorum()
 		}
 	}
 	fp, existed = s.registry.Add(name, g)
@@ -476,6 +490,9 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if s.rejectStandby(w) {
+		return
+	}
 	fp := r.PathValue("fp")
 	if _, ok := s.registry.Get(fp); !ok {
 		writeError(w, http.StatusNotFound, "no graph %q", fp)
@@ -490,6 +507,7 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "persisting removal: %v", err)
 			return
 		}
+		s.replWaitQuorum()
 	}
 	if !s.registry.Remove(fp) {
 		writeError(w, http.StatusNotFound, "no graph %q", fp)
@@ -499,11 +517,7 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	// graph: generations restart at 0 if the same content is re-uploaded,
 	// so anything keyed under a non-zero generation of this id must not
 	// survive to be confused with the next incarnation's generations.
-	s.incr.drop(fp)
-	s.cache.DropGraph(fp)
-	if sh := s.shards.Load(); sh != nil {
-		sh.mgr.RemovePrefix(fp)
-	}
+	s.purgeDerived(fp)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -822,11 +836,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   status,
 		"workers":  s.admission.Workers(),
 		"breakers": breakers,
-	})
+	}
+	switch s.replRole() {
+	case rolePrimary:
+		body["role"] = "primary"
+	case roleStandby:
+		body["role"] = "standby"
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -876,6 +897,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	if s.incr.batches.Load() > 0 {
 		snap.Incr = s.incr.snapshot()
+	}
+	if rs := s.repls.Load(); rs != nil {
+		snap.Repl = rs.snapshot()
 	}
 	return snap
 }

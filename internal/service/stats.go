@@ -95,6 +95,9 @@ type StatsSnapshot struct {
 	// Incr is present once the first edge mutation has been acknowledged; an
 	// unmutated bccd's /statsz is unchanged.
 	Incr *IncrSnapshot `json:"incr,omitempty"`
+	// Repl is present only when EnableReplication has been called; a
+	// standalone bccd's /statsz is unchanged.
+	Repl *ReplSnapshot `json:"repl,omitempty"`
 }
 
 // BreakerSnapshot is one algorithm's circuit-breaker state on /statsz.
