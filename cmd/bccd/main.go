@@ -74,6 +74,9 @@
 //	GET    /v1/vertex/{v}/blocks        block ids containing v (-shard)
 //	GET    /v1/vertex/{v}/articulation  articulation membership of v (-shard)
 //	POST   /v1/admin/promote promote a standby to primary (replication)
+//	POST   /v1/admin/follow  re-point a standby at a new primary's
+//	                         replication listener: {"addr": "host:port"}
+//	                         (the router calls this after a failover)
 //	GET    /healthz          liveness
 //	GET    /statsz           cache hit rate, queue depth, latency histograms
 //	GET    /metrics          Prometheus text exposition (engine + service)

@@ -111,9 +111,10 @@ func main() {
 	}
 
 	url := strings.TrimRight(*addr, "/") + "/v1/graphs/" + *graphFP + "/edges"
-	// 429/503 are refused-before-effect, so resending a mutation batch on
-	// them is safe; transport errors are not retried — the batch may have
-	// committed, and replaying it would double-apply.
+	// Plain 429/503 are refused-before-effect, so resending a mutation
+	// batch on them is safe; transport errors and 503s stamped
+	// X-Bicc-Maybe-Applied are not retried — the batch may have committed,
+	// and replaying it would double-apply.
 	client := &httpretry.Client{
 		HTTP:   &http.Client{Timeout: *timeout},
 		Policy: httpretry.Policy{Logf: log.Printf},
@@ -132,6 +133,13 @@ func main() {
 		lat := time.Since(t0)
 		payload, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		if resp.Header.Get(httpretry.HeaderMaybeApplied) != "" {
+			// The server says this batch MAY have committed before its
+			// primary died; auto-resending could double-apply it. Stop here
+			// — the operator checks the graph's generation before resuming.
+			log.Fatalf("batch %d: %s: outcome ambiguous (the batch may already be applied): %s",
+				i, resp.Status, strings.TrimSpace(string(payload)))
+		}
 		if resp.StatusCode != http.StatusOK {
 			log.Fatalf("batch %d: %s: %s", i, resp.Status, strings.TrimSpace(string(payload)))
 		}

@@ -18,10 +18,16 @@
 //   - When the primary dies, reads fail over to standbys immediately. The
 //     first failed write triggers promotion: the router picks the
 //     reachable standby with the highest applied replication sequence
-//     (from /statsz), POSTs /v1/admin/promote, and installs it as the new
-//     primary. Idempotent writes are then retried once transparently;
-//     non-idempotent ones (edge mutations) answer 503 + Retry-After so the
-//     client's own retry lands on the promoted node.
+//     (from /statsz), POSTs /v1/admin/promote, installs it as the new
+//     primary, and re-points every surviving standby at the promoted
+//     node's replication listener (POST /v1/admin/follow); a survivor
+//     that cannot be retargeted is dropped from the hedge pool. Idempotent
+//     writes are then retried once transparently. A non-idempotent write
+//     (edge mutation) that was already in flight when the primary died
+//     answers 503 + Retry-After with the X-Bicc-Maybe-Applied header —
+//     the mutation may have committed, so retry layers must not replay it
+//     blindly; one that was never sent anywhere is simply forwarded to
+//     the promoted node.
 //   - 503 + Retry-After is returned only when no replica can serve the
 //     request at all.
 //

@@ -5,12 +5,16 @@
 // the server's Retry-After hint when one is present, instead of dying on
 // the first transient.
 //
-// Only status-coded rejections are retried by default: a 429 or 503 proves
-// the request was refused before it took effect, so resending is safe even
-// for non-idempotent calls like edge mutations. Transport errors (the
-// connection died mid-request) carry no such proof and are retried only
-// when the caller opts in via RetryTransportErrors — appropriate for
-// idempotent requests, wrong for mutations.
+// Only status-coded rejections are retried by default: a 429 or 503
+// normally proves the request was refused before it took effect, so
+// resending is safe even for non-idempotent calls like edge mutations. The
+// one 503 that does NOT carry that proof — the router's "primary died
+// mid-write, the mutation may have committed" refusal — is stamped with
+// HeaderMaybeApplied and is never auto-retried: it is returned to the
+// caller, who alone knows whether re-sending is acceptable. Transport
+// errors (the connection died mid-request) likewise carry no proof and are
+// retried only when the caller opts in via RetryTransportErrors —
+// appropriate for idempotent requests, wrong for mutations.
 package httpretry
 
 import (
@@ -21,6 +25,13 @@ import (
 	"strconv"
 	"time"
 )
+
+// HeaderMaybeApplied marks a 503 whose request MAY already have taken
+// effect on the server (the router's primary died mid-write after the
+// request was handed to it). Such a response must never be auto-retried:
+// re-sending a non-idempotent call that actually committed double-applies
+// it. Servers set it to "1"; its presence, not its value, is what matters.
+const HeaderMaybeApplied = "X-Bicc-Maybe-Applied"
 
 // Policy tunes the retry loop. Zero values pick defaults.
 type Policy struct {
@@ -100,7 +111,7 @@ func (c *Client) do(method, url, contentType string, body []byte) (*http.Respons
 			if !pol.RetryTransportErrors || attempt >= pol.MaxAttempts {
 				return nil, err
 			}
-		} else if !retryableStatus(resp.StatusCode) || attempt >= pol.MaxAttempts {
+		} else if !retryableResponse(resp) || attempt >= pol.MaxAttempts {
 			return resp, nil
 		}
 
@@ -134,10 +145,18 @@ func (c *Client) do(method, url, contentType string, body []byte) (*http.Respons
 	}
 }
 
-// retryableStatus reports whether code proves the request was refused
-// without effect and may be resent.
-func retryableStatus(code int) bool {
-	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+// retryableResponse reports whether resp proves the request was refused
+// without effect and may be resent. A 503 carrying HeaderMaybeApplied is
+// explicitly NOT such proof — the server is saying the request may have
+// committed before the refusal — so it is handed back to the caller intact.
+func retryableResponse(resp *http.Response) bool {
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return true
+	case http.StatusServiceUnavailable:
+		return resp.Header.Get(HeaderMaybeApplied) == ""
+	}
+	return false
 }
 
 // parseRetryAfter reads a Retry-After header: delay-seconds or an HTTP

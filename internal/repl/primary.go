@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -103,6 +104,14 @@ type Primary struct {
 	cfg PrimaryConfig
 	ln  net.Listener
 
+	// reign is a random run ID, fresh for every Primary instance. Sequence
+	// numbers are meaningless across instances — a restarted primary begins
+	// again at seq 1 over a possibly different history — so a follower whose
+	// hello carries any other reign is snapshot-resynced, never
+	// stream-continued. The epoch alone cannot enforce this: it is
+	// configuration, and a restarted primary comes back with the same value.
+	reign uint64
+
 	mu        sync.Mutex
 	ring      []record
 	seq       uint64 // last assigned sequence
@@ -131,9 +140,14 @@ func NewPrimary(addr string, cfg PrimaryConfig) (*Primary, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repl: listen %s: %w", addr, err)
 	}
+	reign := rand.Uint64()
+	for reign == 0 { // 0 is the follower-side "no reign yet" sentinel
+		reign = rand.Uint64()
+	}
 	p := &Primary{
 		cfg:       cfg,
 		ln:        ln,
+		reign:     reign,
 		followers: map[int]*follower{},
 		ackWake:   make(chan struct{}),
 	}
@@ -148,6 +162,9 @@ func (p *Primary) Addr() string { return p.ln.Addr().String() }
 // Epoch returns this primary's reign number.
 func (p *Primary) Epoch() uint64 { return p.cfg.Epoch }
 
+// Reign returns this instance's random run ID.
+func (p *Primary) Reign() uint64 { return p.reign }
+
 // Publish assigns the next sequence number to a WAL record and queues it
 // for every follower. Called under the durable store's mutex; it must not
 // block. It returns the assigned sequence.
@@ -157,8 +174,12 @@ func (p *Primary) Publish(kind byte, payload []byte) uint64 {
 	p.seq++
 	seq := p.seq
 	p.ring = append(p.ring, record{seq: seq, kind: kind, payload: cp})
-	if len(p.ring) > p.cfg.RingSize {
-		p.ring = append([]record(nil), p.ring[len(p.ring)-p.cfg.RingSize:]...)
+	// Amortized trim: compacting on every publish would copy RingSize
+	// records per call (under the durable store's mutex, transitively), so
+	// let the slice grow to twice the retention floor and shed the older
+	// half in one O(RingSize) move every RingSize publishes.
+	if len(p.ring) >= 2*p.cfg.RingSize {
+		p.ring = append(make([]record, 0, 2*p.cfg.RingSize), p.ring[len(p.ring)-p.cfg.RingSize:]...)
 	}
 	for _, f := range p.followers {
 		select {
@@ -349,7 +370,7 @@ func (p *Primary) serveFollower(f *follower) {
 		p.logf("repl: follower %s: bad handshake: %v", f.addr, err)
 		return
 	}
-	epoch, lastSeq, err := parseHello(payload)
+	reign, epoch, lastSeq, err := parseHello(payload)
 	if err != nil {
 		p.logf("repl: follower %s: %v", f.addr, err)
 		return
@@ -383,12 +404,14 @@ func (p *Primary) serveFollower(f *follower) {
 		}
 	}()
 
-	// Decide the starting cursor: continue the stream when the follower's
-	// reign matches ours and its cursor is still inside the retention ring;
-	// anything else gets the full state.
+	// Decide the starting cursor: continue the stream only when the
+	// follower's cursor came from THIS primary instance (reign match — an
+	// epoch match is not enough, since a restarted primary re-announces its
+	// configured epoch over a fresh, unrelated sequence space) and is still
+	// inside the retention ring; anything else gets the full state.
 	p.mu.Lock()
 	cursor := lastSeq
-	needSnap := epoch != p.cfg.Epoch || lastSeq > p.seq || !p.ringCoversLocked(lastSeq)
+	needSnap := reign != p.reign || epoch != p.cfg.Epoch || lastSeq > p.seq || !p.ringCoversLocked(lastSeq)
 	p.mu.Unlock()
 
 	if needSnap {
@@ -471,7 +494,7 @@ func (p *Primary) ringCoversLocked(cursor uint64) bool {
 func (p *Primary) sendSnapshot(bw *bufio.Writer) (uint64, bool) {
 	p.resyncs.Add(1)
 	state, seq := p.cfg.Snapshot()
-	if err := writeMsg(bw, msgSnapBegin, snapBeginPayload(p.cfg.Epoch, seq, len(state))); err != nil {
+	if err := writeMsg(bw, msgSnapBegin, snapBeginPayload(p.reign, p.cfg.Epoch, seq, len(state))); err != nil {
 		return 0, false
 	}
 	for _, rec := range state {

@@ -25,8 +25,8 @@ import (
 
 // Message types. Frame: [type:1][len:u32 LE][crc:u32 LE over type++payload].
 const (
-	msgHello      = 1 // standby→primary: [epoch:u64][lastSeq:u64]
-	msgSnapBegin  = 2 // primary→standby: [epoch:u64][seq:u64][count:u32]
+	msgHello      = 1 // standby→primary: [reign:u64][epoch:u64][lastSeq:u64]
+	msgSnapBegin  = 2 // primary→standby: [reign:u64][epoch:u64][seq:u64][count:u32]
 	msgSnapRecord = 3 // primary→standby: [walKind:1][record payload]
 	msgSnapEnd    = 4 // primary→standby: [count:u32]
 	msgRecord     = 5 // primary→standby: [seq:u64][walKind:1][record payload]
@@ -77,35 +77,42 @@ func readMsg(r *bufio.Reader) (typ byte, payload []byte, err error) {
 	return typ, payload, nil
 }
 
-// helloPayload renders a standby's handshake.
-func helloPayload(epoch, lastSeq uint64) []byte {
-	b := make([]byte, 16)
-	binary.LittleEndian.PutUint64(b[0:8], epoch)
-	binary.LittleEndian.PutUint64(b[8:16], lastSeq)
+// helloPayload renders a standby's handshake. reign is the random run ID of
+// the primary instance whose stream the standby's cursor came from (0 when
+// the cursor is empty); a primary seeing any reign but its own serves a
+// snapshot, never a stream continuation — sequence numbers are only
+// comparable within one primary instance's lifetime.
+func helloPayload(reign, epoch, lastSeq uint64) []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint64(b[0:8], reign)
+	binary.LittleEndian.PutUint64(b[8:16], epoch)
+	binary.LittleEndian.PutUint64(b[16:24], lastSeq)
 	return b
 }
 
-func parseHello(b []byte) (epoch, lastSeq uint64, err error) {
-	if len(b) != 16 {
-		return 0, 0, fmt.Errorf("repl: hello payload %d bytes, want 16", len(b))
-	}
-	return binary.LittleEndian.Uint64(b[0:8]), binary.LittleEndian.Uint64(b[8:16]), nil
-}
-
-func snapBeginPayload(epoch, seq uint64, count int) []byte {
-	b := make([]byte, 20)
-	binary.LittleEndian.PutUint64(b[0:8], epoch)
-	binary.LittleEndian.PutUint64(b[8:16], seq)
-	binary.LittleEndian.PutUint32(b[16:20], uint32(count))
-	return b
-}
-
-func parseSnapBegin(b []byte) (epoch, seq uint64, count int, err error) {
-	if len(b) != 20 {
-		return 0, 0, 0, fmt.Errorf("repl: snap-begin payload %d bytes, want 20", len(b))
+func parseHello(b []byte) (reign, epoch, lastSeq uint64, err error) {
+	if len(b) != 24 {
+		return 0, 0, 0, fmt.Errorf("repl: hello payload %d bytes, want 24", len(b))
 	}
 	return binary.LittleEndian.Uint64(b[0:8]), binary.LittleEndian.Uint64(b[8:16]),
-		int(binary.LittleEndian.Uint32(b[16:20])), nil
+		binary.LittleEndian.Uint64(b[16:24]), nil
+}
+
+func snapBeginPayload(reign, epoch, seq uint64, count int) []byte {
+	b := make([]byte, 28)
+	binary.LittleEndian.PutUint64(b[0:8], reign)
+	binary.LittleEndian.PutUint64(b[8:16], epoch)
+	binary.LittleEndian.PutUint64(b[16:24], seq)
+	binary.LittleEndian.PutUint32(b[24:28], uint32(count))
+	return b
+}
+
+func parseSnapBegin(b []byte) (reign, epoch, seq uint64, count int, err error) {
+	if len(b) != 28 {
+		return 0, 0, 0, 0, fmt.Errorf("repl: snap-begin payload %d bytes, want 28", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), binary.LittleEndian.Uint64(b[8:16]),
+		binary.LittleEndian.Uint64(b[16:24]), int(binary.LittleEndian.Uint32(b[24:28])), nil
 }
 
 func recordPayload(seq uint64, kind byte, payload []byte) []byte {

@@ -198,10 +198,10 @@ func TestGapForcesResync(t *testing.T) {
 				if err != nil || typ != msgHello {
 					return
 				}
-				_, lastSeq, _ := parseHello(payload)
+				_, _, lastSeq, _ := parseHello(payload)
 				hellos <- lastSeq
 				// Empty snapshot at seq 5, then a record at seq 7: a hole.
-				_ = writeMsg(bw, msgSnapBegin, snapBeginPayload(1, 5, 0))
+				_ = writeMsg(bw, msgSnapBegin, snapBeginPayload(9, 1, 5, 0))
 				_ = writeMsg(bw, msgSnapEnd, u32Payload(0))
 				_ = writeMsg(bw, msgRecord, recordPayload(7, 1, []byte("x")))
 				_ = bw.Flush()
@@ -249,7 +249,7 @@ func TestWaitQuorumDegrades(t *testing.T) {
 	}
 	defer conn.Close()
 	bw := bufio.NewWriter(conn)
-	if err := writeMsg(bw, msgHello, helloPayload(1, 0)); err != nil {
+	if err := writeMsg(bw, msgHello, helloPayload(0, 1, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if err := bw.Flush(); err != nil {
@@ -299,5 +299,75 @@ func TestStandbyRecoversAfterPrimaryRestart(t *testing.T) {
 	waitUntil(t, "epoch-change resync", func() bool { return s.Epoch() == 2 && s.AppliedSeq() == 2 })
 	if a.resetCount() < 1 {
 		t.Fatal("epoch change did not force a snapshot resync")
+	}
+}
+
+// TestPrimaryRestartSameEpochForcesResync is the cross-history divergence
+// case: the primary restarts with the SAME configured epoch and re-publishes
+// at least as many records as the standby had applied, so the standby's
+// cursor lands inside the new instance's retention ring. Epoch comparison
+// alone would stream-continue across two unrelated histories — keeping the
+// old reign's records and silently missing the new reign's first N. The
+// per-instance reign ID in the handshake must force a full snapshot resync
+// instead.
+func TestPrimaryRestartSameEpochForcesResync(t *testing.T) {
+	p1, err := NewPrimary("127.0.0.1:0", PrimaryConfig{
+		Epoch:    1,
+		Snapshot: func() ([]StateRecord, uint64) { return nil, 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := p1.Addr()
+	p1.Publish(1, []byte("old-1"))
+	p1.Publish(1, []byte("old-2"))
+	a := &memApplier{}
+	s := newTestStandby(t, addr, a)
+	waitUntil(t, "old-reign catch-up", func() bool { return s.AppliedSeq() == 2 })
+	_ = p1.Close()
+
+	// Same address, same epoch, different history: three records the standby
+	// has never seen. The snapshot stays consistent with the publish cursor
+	// under the mutex, mirroring how the service pairs the two.
+	var mu sync.Mutex
+	var state []StateRecord
+	p2, err := NewPrimary(addr, PrimaryConfig{
+		Epoch: 1,
+		Snapshot: func() ([]StateRecord, uint64) {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]StateRecord(nil), state...), uint64(len(state))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for i := 1; i <= 3; i++ {
+		payload := []byte(fmt.Sprintf("new-%d", i))
+		mu.Lock()
+		state = append(state, StateRecord{Kind: 1, Payload: payload})
+		mu.Unlock()
+		p2.Publish(1, payload)
+	}
+
+	waitUntil(t, "new-reign resync", func() bool { return s.AppliedSeq() == 3 })
+	if a.resetCount() < 1 {
+		t.Fatal("primary restart with the same epoch did not force a snapshot resync")
+	}
+	// Whatever mix of snapshot and streamed records arrived, the standby's
+	// final contents must be exactly the new reign's history.
+	a.mu.Lock()
+	got := append([]StateRecord(nil), a.resets[len(a.resets)-1]...)
+	got = append(got, a.recs...)
+	a.mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("standby holds %d records after resync, want 3", len(got))
+	}
+	for i, rec := range got {
+		want := fmt.Sprintf("new-%d", i+1)
+		if string(rec.Payload) != want {
+			t.Fatalf("record %d: %q, want %q — stream continued across histories", i, rec.Payload, want)
+		}
 	}
 }

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bicc/internal/httpretry"
 )
 
 // Router is the thin HTTP front over one primary and N standbys. It
@@ -26,9 +28,13 @@ import (
 // Safety argument for failover: uploads are content-addressed (re-sending
 // is idempotent) and deletes are naturally idempotent, so those are retried
 // once against the promoted standby. Mutations are NOT idempotent; a
-// mutation whose primary died mid-flight gets 503 + Retry-After without a
-// forwarded retry — the client decides, knowing the server never
-// acknowledged.
+// mutation that was already handed to a primary that then died mid-flight
+// may have committed (durable and replicated) before the death, so it gets
+// 503 + Retry-After stamped with httpretry.HeaderMaybeApplied and no
+// forwarded retry — the client decides, knowing the outcome is ambiguous.
+// A mutation that was never sent anywhere (the primary was already known
+// dead) carries no such ambiguity and is forwarded once to the promoted
+// standby like any first send.
 type RouterConfig struct {
 	// Primary and Standbys are base URLs (http://host:port).
 	Primary  string
@@ -353,6 +359,11 @@ func (rt *Router) forwardStream(w http.ResponseWriter, r *http.Request) {
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		primary.healthy.Store(false)
+		if !isIdempotentRead(r) && !isRetryableWrite(r) {
+			// The streamed write was already in flight; its effect is
+			// ambiguous, exactly as on the buffered path.
+			w.Header().Set(httpretry.HeaderMaybeApplied, "1")
+		}
 		rt.unavailable(w, "primary unreachable: %v", err)
 		return
 	}
@@ -445,6 +456,20 @@ func (rt *Router) serveRead(w http.ResponseWriter, r *http.Request, body []byte)
 				if rep.hedge {
 					rt.hedgedWins.Add(1)
 				}
+				if inflight > 0 {
+					// The losing request may still complete (successfully,
+					// if it beats the context cancellation): reap its reply
+					// and close the body, or a connection leaks per hedged
+					// race.
+					go func(n int) {
+						for i := 0; i < n; i++ {
+							if loser := <-ch; loser.resp != nil {
+								io.Copy(io.Discard, io.LimitReader(loser.resp.Body, 1<<20))
+								loser.resp.Body.Close()
+							}
+						}
+					}(inflight)
+				}
 				copyResponse(w, rep.resp, rep.backend)
 				return
 			}
@@ -464,14 +489,21 @@ func (rt *Router) serveRead(w http.ResponseWriter, r *http.Request, body []byte)
 }
 
 // serveWrite forwards a write to the primary; a dead primary triggers
-// failover, after which idempotent writes are retried once against the
-// promoted standby and non-idempotent ones are refused with Retry-After.
+// failover, after which idempotent writes — and non-idempotent ones that
+// were provably never handed to any backend — are retried once against the
+// promoted standby. A non-idempotent write that was already in flight when
+// the primary died is refused with Retry-After plus HeaderMaybeApplied, so
+// no retry layer (ours or the client's) can legally replay it.
 func (rt *Router) serveWrite(w http.ResponseWriter, r *http.Request, body []byte) {
 	rt.mu.Lock()
 	primary := rt.primary
 	rt.mu.Unlock()
 
+	// attempted records whether this request was actually handed to a
+	// backend: only then can its effect be ambiguous.
+	attempted := false
 	if primary.healthy.Load() {
+		attempted = true
 		resp, err := rt.forward(r.Context(), primary.url, r, body)
 		if err == nil {
 			copyResponse(w, resp, primary.url)
@@ -484,18 +516,24 @@ func (rt *Router) serveWrite(w http.ResponseWriter, r *http.Request, body []byte
 		primary.healthy.Store(false)
 		rt.logf("router: write to %s failed (%v), starting failover", primary.url, err)
 	}
+	ambiguous := attempted && !isRetryableWrite(r)
 
 	promoted, err := rt.failover(primary)
 	if err != nil {
+		if ambiguous {
+			w.Header().Set(httpretry.HeaderMaybeApplied, "1")
+		}
 		rt.unavailable(w, "primary dead, failover failed: %v", err)
 		return
 	}
-	if !isRetryableWrite(r) {
-		// The dead primary may or may not have committed this mutation; the
-		// router cannot re-send a non-idempotent write. The client retries
-		// with full knowledge that it was never acknowledged.
+	if ambiguous {
+		// The dead primary may or may not have committed this mutation
+		// before it died; the router cannot re-send a non-idempotent write.
+		// HeaderMaybeApplied tells retry layers this 503 is NOT a
+		// refused-before-effect rejection — the client decides.
 		rt.refused.Add(1)
-		rt.unavailable(w, "primary died mid-write; retry against the promoted replica")
+		w.Header().Set(httpretry.HeaderMaybeApplied, "1")
+		rt.unavailable(w, "primary died mid-write and the request may have been applied; verify before retrying against the promoted replica")
 		return
 	}
 	resp, err := rt.forward(r.Context(), promoted, r, body)
@@ -568,6 +606,10 @@ func (rt *Router) failover(dead *backend) (string, error) {
 	if resp.StatusCode != http.StatusOK {
 		return "", fmt.Errorf("promoting %s: %s: %s", best.b.url, resp.Status, strings.TrimSpace(string(pb)))
 	}
+	var report struct {
+		ReplAddr string `json:"repl_addr"`
+	}
+	_ = json.Unmarshal(pb, &report)
 
 	rt.mu.Lock()
 	rt.primary = best.b
@@ -581,7 +623,74 @@ func (rt *Router) failover(dead *backend) (string, error) {
 	rt.mu.Unlock()
 	rt.failovers.Add(1)
 	rt.logf("router: promoted %s to primary (applied seq %d)", best.b.url, best.seq)
+	rt.retargetStandbys(rest, report.ReplAddr)
 	return best.b.url, nil
+}
+
+// retargetStandbys re-points the surviving standbys at the promoted
+// primary's replication listener via POST /v1/admin/follow. Without this a
+// survivor keeps chasing its dead predecessor forever: its /healthz stays
+// 200 while its data grows stale without bound and replication durability
+// silently drops to one node. A standby that cannot be retargeted — every
+// standby, when the promoted node exposes no replication listener — is
+// dropped from the hedge pool instead of serving unboundedly stale reads.
+// Runs asynchronously: the write that triggered the failover must not wait
+// on N admin round-trips.
+func (rt *Router) retargetStandbys(standbys []*backend, replAddr string) {
+	if len(standbys) == 0 {
+		return
+	}
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		for _, b := range standbys {
+			err := fmt.Errorf("promoted primary exposes no replication listener")
+			if replAddr != "" {
+				err = rt.postFollow(b, replAddr)
+			}
+			if err != nil {
+				rt.logf("router: dropping standby %s from the hedge pool: %v", b.url, err)
+				rt.dropStandby(b)
+				continue
+			}
+			rt.logf("router: standby %s now follows %s", b.url, replAddr)
+		}
+	}()
+}
+
+// postFollow asks one standby to follow replAddr.
+func (rt *Router) postFollow(b *backend, replAddr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	body, _ := json.Marshal(map[string]string{"addr": replAddr})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/admin/follow", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	rb, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("follow: %s: %s", resp.Status, strings.TrimSpace(string(rb)))
+	}
+	return nil
+}
+
+// dropStandby removes b from the hedge pool.
+func (rt *Router) dropStandby(b *backend) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var rest []*backend
+	for _, s := range rt.standbys {
+		if s != b {
+			rest = append(rest, s)
+		}
+	}
+	rt.standbys = rest
 }
 
 // appliedSeq reads a standby's replication cursor from its /statsz.

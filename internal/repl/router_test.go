@@ -9,15 +9,28 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"bicc/internal/httpretry"
 )
 
 // fakeNode is a stub bccd backend: healthz, statsz with a replication
-// cursor, a promote endpoint that counts calls, and caller-supplied
+// cursor, promote/follow endpoints that record calls, and caller-supplied
 // handlers for everything else.
 type fakeNode struct {
 	srv        *httptest.Server
 	appliedSeq uint64
+	replAddr   string // repl_addr in the promote response, when non-empty
 	promotes   atomic.Int64
+	follows    atomic.Int64
+	followAddr atomic.Value // string: last addr received on /v1/admin/follow
+	failFollow atomic.Bool  // make /v1/admin/follow answer 409
+}
+
+func (n *fakeNode) followedAddr() string {
+	if v, ok := n.followAddr.Load().(string); ok {
+		return v
+	}
+	return ""
 }
 
 func newFakeNode(t *testing.T, appliedSeq uint64, extra func(mux *http.ServeMux, n *fakeNode)) *fakeNode {
@@ -34,7 +47,21 @@ func newFakeNode(t *testing.T, appliedSeq uint64, extra func(mux *http.ServeMux,
 	mux.HandleFunc("POST /v1/admin/promote", func(w http.ResponseWriter, r *http.Request) {
 		n.promotes.Add(1)
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"role":"primary"}`)
+		fmt.Fprintf(w, `{"role":"primary","repl_addr":%q}`+"\n", n.replAddr)
+	})
+	mux.HandleFunc("POST /v1/admin/follow", func(w http.ResponseWriter, r *http.Request) {
+		if n.failFollow.Load() {
+			w.WriteHeader(http.StatusConflict)
+			return
+		}
+		var req struct {
+			Addr string `json:"addr"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		n.followAddr.Store(req.Addr)
+		n.follows.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"role":"standby"}`)
 	})
 	if extra != nil {
 		extra(mux, n)
@@ -171,6 +198,9 @@ func TestRouterRefusesMutationAfterPrimaryDeath(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("503 without Retry-After")
 	}
+	if rec.Header().Get(httpretry.HeaderMaybeApplied) == "" {
+		t.Fatal("ambiguous 503 without the maybe-applied marker: a retry layer would replay the mutation")
+	}
 	if rt.Refused() != 1 {
 		t.Fatalf("refused %d, want 1", rt.Refused())
 	}
@@ -217,6 +247,109 @@ func TestRouterReadsSurvivePrimaryDeath(t *testing.T) {
 	}
 	if standby.promotes.Load() != 0 {
 		t.Fatal("a read triggered promotion")
+	}
+}
+
+// TestRouterRetargetsStandbysAfterFailover: after promoting the
+// most-caught-up standby, the router re-points every survivor at the
+// promoted node's replication listener via /v1/admin/follow; a survivor
+// whose follow call fails is dropped from the hedge pool instead of serving
+// ever-staler reads while chasing its dead predecessor.
+func TestRouterRetargetsStandbysAfterFailover(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	winner := newFakeNode(t, 9, func(mux *http.ServeMux, n *fakeNode) {
+		n.replAddr = "127.0.0.1:7777"
+		mux.HandleFunc("POST /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"fingerprint":"abc"}`)
+		})
+	})
+	survivor := newFakeNode(t, 2, nil)
+	stuck := newFakeNode(t, 1, nil)
+	stuck.failFollow.Store(true)
+
+	rt := newTestRouter(t, RouterConfig{
+		Primary:  deadURL,
+		Standbys: []string{survivor.srv.URL, stuck.srv.URL, winner.srv.URL},
+	})
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/graphs?name=g",
+		bytes.NewReader([]byte("graph bytes"))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rt.Primary() != winner.srv.URL {
+		t.Fatalf("primary %q, want the promoted %q", rt.Primary(), winner.srv.URL)
+	}
+
+	inPool := func(url string) bool {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		for _, b := range rt.standbys {
+			if b.url == url {
+				return true
+			}
+		}
+		return false
+	}
+	waitUntil(t, "survivor retargeted", func() bool {
+		return survivor.follows.Load() == 1 && survivor.followedAddr() == "127.0.0.1:7777"
+	})
+	waitUntil(t, "unretargetable standby dropped", func() bool { return !inPool(stuck.srv.URL) })
+	if !inPool(survivor.srv.URL) {
+		t.Fatal("survivor dropped from the hedge pool despite a successful retarget")
+	}
+	if winner.follows.Load() != 0 {
+		t.Fatal("the promoted primary was asked to follow itself")
+	}
+}
+
+// TestRouterForwardsNeverSentMutation: a mutation that arrives while the
+// primary is already known dead was never handed to any backend, so its
+// effect cannot be ambiguous — the router promotes and forwards it once
+// instead of refusing.
+func TestRouterForwardsNeverSentMutation(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	standby := newFakeNode(t, 3, func(mux *http.ServeMux, n *fakeNode) {
+		mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"graphs":{}}`)
+		})
+		mux.HandleFunc("POST /v1/graphs/{fp}/edges", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"applied":1}`)
+		})
+	})
+
+	rt := newTestRouter(t, RouterConfig{
+		Primary:  deadURL,
+		Standbys: []string{standby.srv.URL},
+	})
+
+	// A read first: its failed forward marks the primary unhealthy.
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/graphs", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("priming read: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/graphs/abc/edges",
+		bytes.NewReader([]byte(`{"deltas":[{"op":"insert","u":1,"v":2}]}`))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("never-sent mutation: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Bicc-Backend"); got != standby.srv.URL {
+		t.Fatalf("answered by %q, want the promoted standby", got)
+	}
+	if rt.Refused() != 0 {
+		t.Fatalf("refused %d, want 0: nothing was ambiguous", rt.Refused())
 	}
 }
 

@@ -50,13 +50,16 @@ func (c StandbyConfig) withDefaults() StandbyConfig {
 // Standby maintains a connection to the primary, replays the record stream
 // through its Applier, and acks every applied sequence. It reconnects with
 // jittered backoff forever until stopped; a fresh process (applied == 0,
-// epoch == 0) or an epoch change forces a full snapshot resync.
+// reign == 0), an epoch change, or any other primary instance than the one
+// the cursor came from (reign mismatch — e.g. a restarted primary) forces a
+// full snapshot resync.
 type Standby struct {
 	cfg StandbyConfig
 
 	mu        sync.Mutex
 	applied   uint64
 	epoch     uint64
+	reign     uint64 // run ID of the primary instance `applied` counts against
 	connected bool
 	conn      net.Conn
 	stopped   bool
@@ -173,7 +176,7 @@ func (s *Standby) run() {
 // forceResync zeroes the cursor so the next handshake gets a snapshot.
 func (s *Standby) forceResync() {
 	s.mu.Lock()
-	s.applied, s.epoch = 0, 0
+	s.applied, s.epoch, s.reign = 0, 0, 0
 	s.mu.Unlock()
 }
 
@@ -191,7 +194,7 @@ func (s *Standby) follow() error {
 	}
 	s.conn = conn
 	s.connected = true
-	epoch, applied := s.epoch, s.applied
+	reign, epoch, applied := s.reign, s.epoch, s.applied
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -203,7 +206,7 @@ func (s *Standby) follow() error {
 
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
-	if err := writeMsg(bw, msgHello, helloPayload(epoch, applied)); err != nil {
+	if err := writeMsg(bw, msgHello, helloPayload(reign, epoch, applied)); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -224,7 +227,7 @@ func (s *Standby) follow() error {
 		}
 		switch typ {
 		case msgSnapBegin:
-			snapEpoch, snapSeq, count, err := parseSnapBegin(payload)
+			snapReign, snapEpoch, snapSeq, count, err := parseSnapBegin(payload)
 			if err != nil {
 				return err
 			}
@@ -259,9 +262,9 @@ func (s *Standby) follow() error {
 				return fmt.Errorf("repl: applying snapshot: %w", err)
 			}
 			s.mu.Lock()
-			s.applied, s.epoch = snapSeq, snapEpoch
+			s.applied, s.epoch, s.reign = snapSeq, snapEpoch, snapReign
 			s.mu.Unlock()
-			s.logf("repl: standby resynced: %d records, seq %d, epoch %d", len(state), snapSeq, snapEpoch)
+			s.logf("repl: standby resynced: %d records, seq %d, epoch %d, reign %x", len(state), snapSeq, snapEpoch, snapReign)
 			if err := ack(snapSeq); err != nil {
 				return err
 			}

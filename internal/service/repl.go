@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -67,6 +68,7 @@ type replState struct {
 	promotions     atomic.Int64
 	quorumDegrades atomic.Int64
 	promoteDropped atomic.Int64
+	refollows      atomic.Int64
 }
 
 // EnableReplication starts the server in the role cfg implies: standby when
@@ -453,6 +455,65 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// --- retarget ----------------------------------------------------------------
+
+// Refollow re-points a standby at a new primary's replication listener. The
+// router calls this after promoting a peer so the surviving standbys do not
+// chase their dead predecessor forever — reconnect backoff alone never
+// fixes that, because StandbyConfig.PrimaryAddr is where the backoff keeps
+// dialing. The old follow loop is stopped before the new one starts (never
+// two appliers at once), and the new loop begins with an empty cursor, so
+// its first connection performs a full snapshot resync against the new
+// primary — mandatory anyway, since that primary's reign is new.
+func (s *Server) Refollow(addr string) error {
+	rs := s.repls.Load()
+	if rs == nil {
+		return fmt.Errorf("service: replication not enabled")
+	}
+	if addr == "" {
+		return fmt.Errorf("service: follow address required")
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.role.Load() != roleStandby {
+		return fmt.Errorf("service: not a standby (a primary does not follow; promote elsewhere instead)")
+	}
+	if old := rs.stb.Swap(nil); old != nil {
+		old.Stop()
+	}
+	stb, err := repl.NewStandby(repl.StandbyConfig{
+		PrimaryAddr: addr,
+		Applier:     &replApplier{s: s, d: rs.d},
+		Logf:        rs.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	rs.stb.Store(stb)
+	rs.refollows.Add(1)
+	if rs.cfg.Logf != nil {
+		rs.cfg.Logf("service: standby now follows %s", addr)
+	}
+	return nil
+}
+
+// handleFollow serves POST /v1/admin/follow: {"addr": "host:port"}
+// re-points a standby at a new primary's replication listener.
+func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding follow request: %v", err)
+		return
+	}
+	if err := s.Refollow(req.Addr); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"role": "standby", "following": req.Addr})
+}
+
 // --- metrics & statsz --------------------------------------------------------
 
 // register exposes the replication series. They exist only when
@@ -533,6 +594,8 @@ func (rs *replState) register(s *Server) {
 		"Writes whose standby-ack wait timed out and degraded to async.").Func(rs.quorumDegrades.Load)
 	reg.CounterVec("bicc_repl_promotions_total",
 		"Standby-to-primary promotions performed.").Func(rs.promotions.Load)
+	reg.CounterVec("bicc_repl_refollows_total",
+		"Times this standby was re-pointed at a new primary.").Func(rs.refollows.Load)
 }
 
 // ReplSnapshot is the /statsz replication section, present only when
@@ -555,6 +618,7 @@ type ReplSnapshot struct {
 	QuorumTimeouts int64               `json:"quorum_timeouts"`
 	Promotions     int64               `json:"promotions"`
 	PromoteDropped int64               `json:"promote_dropped_graphs"`
+	Refollows      int64               `json:"refollows"`
 	ReplAddr       string              `json:"repl_addr,omitempty"`
 }
 
@@ -564,6 +628,7 @@ func (rs *replState) snapshot() *ReplSnapshot {
 		QuorumTimeouts: rs.quorumDegrades.Load(),
 		Promotions:     rs.promotions.Load(),
 		PromoteDropped: rs.promoteDropped.Load(),
+		Refollows:      rs.refollows.Load(),
 	}
 	switch rs.role.Load() {
 	case rolePrimary:

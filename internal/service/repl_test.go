@@ -294,6 +294,71 @@ func TestPromotionServesAckedState(t *testing.T) {
 	}
 }
 
+// TestRefollowRetargetsStandby: POST /v1/admin/follow re-points a standby
+// at a different primary's replication listener (what the router does to
+// survivors after a failover). The standby must snapshot-resync against the
+// new primary — old state replaced, new state served byte-identically — and
+// a primary must refuse to follow anyone.
+func TestRefollowRetargetsStandby(t *testing.T) {
+	priA, stb := replicaPair(t)
+	upA := uploadGraph(t, priA.ts, testGraph(t), "name=alpha")
+	waitCaughtUp(t, priA, stb)
+
+	priB := newReplica(t, Config{}, t.TempDir(), ReplConfig{ListenAddr: "127.0.0.1:0"})
+	gB, err := bicc.RandomConnectedGraph(30, 70, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upB := uploadGraph(t, priB.ts, gB, "name=beta")
+	wantB := normalizeBCC(t, queryAll(t, priB.ts, upB.Fingerprint, "tv-opt"))
+
+	follow := func(ts *httptest.Server, addr string) int {
+		body, _ := json.Marshal(map[string]string{"addr": addr})
+		resp, err := http.Post(ts.URL+"/v1/admin/follow", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := follow(priA.ts, priB.s.ReplAddr()); code != http.StatusConflict {
+		t.Fatalf("primary accepted a follow request: status %d, want 409", code)
+	}
+	if code := follow(stb.ts, priB.s.ReplAddr()); code != http.StatusOK {
+		t.Fatalf("standby refollow: status %d, want 200", code)
+	}
+	waitCaughtUp(t, priB, stb)
+
+	// The resync replaced the old reign's state wholesale.
+	if _, ok := getGraphInfo(t, stb.ts, upA.Fingerprint); ok {
+		t.Fatal("old primary's graph survived the retarget resync")
+	}
+	if got := normalizeBCC(t, queryAll(t, stb.ts, upB.Fingerprint, "tv-opt")); got != wantB {
+		t.Fatalf("retargeted standby answer diverged\nwant %s\ngot  %s", wantB, got)
+	}
+
+	// Still a read-only standby, now counted as refollowed.
+	var buf bytes.Buffer
+	if err := bicc.WriteGraphBinary(&buf, testGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(stb.ts.URL+"/v1/graphs?format=binary", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("retargeted standby accepted a write: status %d", resp.StatusCode)
+	}
+	snap := stb.s.Snapshot()
+	if snap.Repl == nil || snap.Repl.Role != "standby" || snap.Repl.Refollows != 1 {
+		t.Fatalf("statsz repl after refollow: %+v", snap.Repl)
+	}
+}
+
 // TestStandbyWALIsRecoveryImage: the standby's own data dir must be a valid
 // PR 4 recovery image at all times — a plain (non-replicated) server opened
 // over it recovers exactly the replicated state. Doubles as the boot-replay

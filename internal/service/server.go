@@ -255,6 +255,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/vertex/{v}/blocks", s.handleVertexBlocks)
 	mux.HandleFunc("GET /v1/vertex/{v}/articulation", s.handleVertexArticulation)
 	mux.HandleFunc("POST /v1/admin/promote", s.handlePromote)
+	mux.HandleFunc("POST /v1/admin/follow", s.handleFollow)
 	return PanicRecovery(s.drainGate(mux), func() { s.stats.HandlerPanics.Add(1) })
 }
 
