@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-obs lint-obs fuzz-durable fuzz-shard test-shard test-incr fuzz-incr race-service test-crash test-repl test-failover fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-fastbcc test-obs lint-obs fuzz-durable fuzz-shard test-shard test-incr fuzz-incr race-service test-crash test-repl test-failover fmt vet clean
 
 all: build test
 
@@ -43,9 +43,22 @@ verify:
 test-faults:
 	$(GO) test -race -run 'Fault|Fallback|Panic|Breaker|Drain|AttemptTimeout' . ./internal/par ./internal/faults ./internal/service
 
-# Machine-readable medians for the four algorithms (CI trend tracking).
+# Machine-readable medians for the five algorithms (CI trend tracking).
+# BENCH_1.json is the single-p snapshot; BENCH_2.json sweeps every parallel
+# engine (fast-bcc included) at p=1 and p=4 for the TV-vs-FAST-BCC
+# comparison.
 bench-json:
 	$(GO) run ./cmd/bccjson -scale $(SCALE) -reps $(REPS) -o BENCH_1.json
+	$(GO) run ./cmd/bccjson -scale $(SCALE) -reps $(REPS) -sweep 1,4 -o BENCH_2.json
+
+# FAST-BCC suite: the skeleton engine's differential families (byte-equality
+# vs the sequential oracle), its fault-containment and phase tests, the
+# cross-engine canonical-labeling check, and the engine rows it adds to the
+# fault matrix — race-enabled.
+test-fastbcc:
+	$(GO) test -race ./internal/fastbcc -count=1
+	$(GO) test -race -run 'CanonicalLabels' ./internal/core -count=1
+	$(GO) test -race -run 'ParseAlgorithm|FuzzFastBCC' . -count=1
 
 # Observability suite: the obs registry/exposition/trace tests (race-enabled,
 # including the concurrent Observe-vs-scrape check) and the service's
@@ -138,7 +151,7 @@ lint-obs:
 # (mutation differential harness + delta fuzzing), the replication suite
 # (standby differential harness + multi-process node-kill failover), and a
 # benchmark snapshot.
-ci: vet lint-obs race test-faults test-obs fuzz-durable test-shard fuzz-shard test-incr fuzz-incr race-service test-crash test-repl test-failover bench-json
+ci: vet lint-obs race test-fastbcc test-faults test-obs fuzz-durable test-shard fuzz-shard test-incr fuzz-incr race-service test-crash test-repl test-failover bench-json
 
 fmt:
 	gofmt -l -w .

@@ -3,7 +3,9 @@
 // Parallel Biconnected Components Algorithms on Symmetric Multiprocessors
 // (SMPs)" (IPPS 2005): the Tarjan–Vishkin SMP emulation (TV-SMP), its
 // optimized adaptation (TV-opt), the paper's new edge-filtering algorithm
-// (TV-filter), and the sequential Hopcroft–Tarjan baseline.
+// (TV-filter), and the sequential Hopcroft–Tarjan baseline — plus the
+// skeleton-based FAST-BCC engine (fast-bcc) from the follow-on literature,
+// which drops the Euler-tour/list-ranking stack entirely.
 //
 // A biconnected component (block) is a maximal subgraph that remains
 // connected after removing any single vertex. Every edge of a simple graph
@@ -28,9 +30,11 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"bicc/internal/core"
+	"bicc/internal/fastbcc"
 	"bicc/internal/graph"
 	"bicc/internal/obs"
 	"bicc/internal/par"
@@ -125,7 +129,17 @@ const (
 	// that cannot affect biconnectivity, run TV on at most 2(n-1) edges,
 	// then label the filtered edges by condition 1.
 	TVFilter
+	// FastBCC is the skeleton-based algorithm of Dong, Wang, Gu & Sun
+	// ("Provably Fast and Space-Efficient Parallel Biconnectivity"): a BFS
+	// forest, preorder/low/high labels from O(n) level sweeps instead of an
+	// Euler tour, and connected components over the fence-free skeleton
+	// graph. Same canonical output as every other engine, without the
+	// tour/list-ranking constant factor.
+	FastBCC
 )
+
+// algorithms lists every valid preset, in presentation order.
+var algorithms = []Algorithm{Auto, Sequential, TVSMP, TVOpt, TVFilter, FastBCC}
 
 // String returns the algorithm's name as used in the paper.
 func (a Algorithm) String() string {
@@ -140,8 +154,27 @@ func (a Algorithm) String() string {
 		return "tv-opt"
 	case TVFilter:
 		return "tv-filter"
+	case FastBCC:
+		return "fast-bcc"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm is the inverse of Algorithm.String: it maps a preset name
+// to its Algorithm. Unknown names are rejected with an error listing the
+// valid presets — callers must never fall through to a silent zero-value
+// (Auto) engine on a typo.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range algorithms {
+		if s == a.String() {
+			return a, nil
+		}
+	}
+	names := make([]string, len(algorithms))
+	for i, a := range algorithms {
+		names[i] = a.String()
+	}
+	return 0, fmt.Errorf("bicc: unknown algorithm %q (valid: %s)", s, strings.Join(names, ", "))
 }
 
 // FallbackPolicy selects how BiconnectedComponentsCtx reacts when a
@@ -285,7 +318,7 @@ func BiconnectedComponentsCtx(ctx context.Context, g *Graph, opt *Options) (*Res
 	p := par.Procs(o.Procs)
 	algo := ResolveAlgorithm(g, o.Algorithm, p)
 	switch algo {
-	case Sequential, TVSMP, TVOpt, TVFilter:
+	case Sequential, TVSMP, TVOpt, TVFilter, FastBCC:
 	default:
 		return nil, fmt.Errorf("bicc: unknown algorithm %v", o.Algorithm)
 	}
@@ -353,6 +386,8 @@ func runAttempt(ctx context.Context, el *graph.EdgeList, algo Algorithm, p int, 
 	switch algo {
 	case Sequential:
 		return core.SequentialT(cancel, sp, el)
+	case FastBCC:
+		return fastbcc.Run(p, el, fastbcc.Config{Cancel: cancel, Span: sp})
 	case TVSMP, TVOpt, TVFilter:
 		var cfg core.Config
 		switch algo {

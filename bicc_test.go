@@ -3,6 +3,7 @@ package bicc
 import (
 	"bytes"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -85,13 +86,53 @@ func TestBiconnectedComponentsDefault(t *testing.T) {
 	}
 }
 
+// TestParseAlgorithmRoundTrip pins the public name set: every preset's
+// String() parses back to the same value, and unknown names are rejected
+// with an error that lists the valid presets.
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		algo Algorithm
+	}{
+		{"auto", Auto},
+		{"sequential", Sequential},
+		{"tv-smp", TVSMP},
+		{"tv-opt", TVOpt},
+		{"tv-filter", TVFilter},
+		{"fast-bcc", FastBCC},
+	}
+	for _, tc := range cases {
+		if got := tc.algo.String(); got != tc.name {
+			t.Errorf("%v.String() = %q, want %q", tc.algo, got, tc.name)
+		}
+		got, err := ParseAlgorithm(tc.name)
+		if err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", tc.name, err)
+		} else if got != tc.algo {
+			t.Errorf("ParseAlgorithm(%q) = %v, want %v", tc.name, got, tc.algo)
+		}
+	}
+	for _, bad := range []string{"", "quantum", "TV-OPT", "fastbcc", "tv_opt"} {
+		_, err := ParseAlgorithm(bad)
+		if err == nil {
+			t.Errorf("ParseAlgorithm(%q) accepted", bad)
+			continue
+		}
+		for _, tc := range cases {
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Errorf("ParseAlgorithm(%q) error %q does not list preset %q", bad, err, tc.name)
+			}
+		}
+	}
+}
+
 func TestAllAlgorithmsAgree(t *testing.T) {
 	g, err := RandomConnectedGraph(300, 900, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var base *Result
-	for _, a := range []Algorithm{Sequential, TVSMP, TVOpt, TVFilter, Auto} {
+	for _, a := range []Algorithm{Sequential, TVSMP, TVOpt, TVFilter, FastBCC, Auto} {
 		res, err := BiconnectedComponents(g, &Options{Algorithm: a, Procs: 2})
 		if err != nil {
 			t.Fatalf("%v: %v", a, err)
@@ -227,7 +268,7 @@ func TestQuickAlgorithmsEquivalent(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for _, a := range []Algorithm{TVSMP, TVOpt, TVFilter} {
+		for _, a := range []Algorithm{TVSMP, TVOpt, TVFilter, FastBCC} {
 			got, err := BiconnectedComponents(g, &Options{Algorithm: a, Procs: 2})
 			if err != nil {
 				return false

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bcc [-algo auto|sequential|tv-smp|tv-opt|tv-filter] [-p procs]
+//	bcc [-algo auto|sequential|tv-smp|tv-opt|tv-filter|fast-bcc] [-p procs]
 //	    [-format text|dimacs|binary] [-components] [-timing] [graphfile]
 package main
 
@@ -22,7 +22,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bcc: ")
-	algoName := flag.String("algo", "auto", "algorithm: auto, sequential, tv-smp, tv-opt, tv-filter")
+	algoName := flag.String("algo", "auto", "algorithm: auto, sequential, tv-smp, tv-opt, tv-filter, fast-bcc")
 	procs := flag.Int("p", 0, "worker count (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "input format: text, dimacs, binary")
 	showComps := flag.Bool("components", false, "print every block's edge list")
@@ -30,7 +30,7 @@ func main() {
 	showStats := flag.Bool("stats", false, "print graph statistics (degrees, connectivity, diameter bound)")
 	flag.Parse()
 
-	algo, err := parseAlgo(*algoName)
+	algo, err := bicc.ParseAlgorithm(*algoName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,20 +97,4 @@ func main() {
 			fmt.Printf("%-22s %v\n", ph.Name, ph.Duration.Round(time.Microsecond))
 		}
 	}
-}
-
-func parseAlgo(s string) (bicc.Algorithm, error) {
-	switch s {
-	case "auto":
-		return bicc.Auto, nil
-	case "sequential":
-		return bicc.Sequential, nil
-	case "tv-smp":
-		return bicc.TVSMP, nil
-	case "tv-opt":
-		return bicc.TVOpt, nil
-	case "tv-filter":
-		return bicc.TVFilter, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", s)
 }

@@ -1,7 +1,7 @@
 // Command bccbench regenerates the paper's Figure 3: execution time and
-// speedup of the sequential, TV-SMP, TV-opt and TV-filter biconnected
-// components implementations on random graphs of several edge densities,
-// swept over processor counts.
+// speedup of the sequential, TV-SMP, TV-opt, TV-filter and FAST-BCC
+// biconnected components implementations on random graphs of several edge
+// densities, swept over processor counts.
 //
 // The paper's instances are 1M-vertex graphs with 4M, 10M and 20M (n log n)
 // edges on a 12-processor Sun E4500; -scale shrinks the instances

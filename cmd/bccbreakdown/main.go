@@ -1,8 +1,9 @@
 // Command bccbreakdown regenerates the paper's Figure 4: the per-step
 // execution-time breakdown (Spanning-tree, Euler-tour, root, Low-high,
-// Label-edge, Connected-components, Filtering) of TV-SMP, TV-opt and
-// TV-filter at the maximum processor count, across the paper's three edge
-// densities.
+// Label-edge, Connected-components, Filtering, Skeleton) of TV-SMP,
+// TV-opt, TV-filter and FAST-BCC at the maximum processor count, across
+// the paper's three edge densities. The TV columns that FAST-BCC skips
+// (Euler-tour, Filtering) read zero for it, and vice versa for Skeleton.
 //
 // Usage:
 //

@@ -184,10 +184,10 @@ func (p *bccdProc) durStats() (map[string]float64, error) {
 	return out.Durability, nil
 }
 
-// query posts one BCC request; the error is returned so kill-site tests
-// can tolerate the daemon dying mid-query.
-func (p *bccdProc) query(fp string) error {
-	body := fmt.Sprintf(`{"graph": %q, "algorithm": "tv-opt"}`, fp)
+// query posts one BCC request on the chosen engine; the error is returned
+// so kill-site tests can tolerate the daemon dying mid-query.
+func (p *bccdProc) query(fp, algo string) error {
+	body := fmt.Sprintf(`{"graph": %q, "algorithm": %q}`, fp, algo)
 	resp, err := http.Post(p.url("/v1/bcc"), "application/json", strings.NewReader(body))
 	if err != nil {
 		return err
@@ -357,6 +357,55 @@ func TestCrashDuringCompaction(t *testing.T) {
 	}
 }
 
+// TestCrashAtEngineKillSite SIGKILLs the daemon inside the fast-bcc engine
+// (at the skeleton-construction fault site) while it serves a query. An
+// engine kill must cost only the in-flight query: every acknowledged upload
+// recovers from the WAL, and the restarted daemon answers the same fast-bcc
+// query cleanly.
+func TestCrashAtEngineKillSite(t *testing.T) {
+	const site = "fastbcc.skeleton"
+	dir := t.TempDir()
+	p := startBccd(t, dir, "kill,site="+site+",iter=0")
+	acked := map[string]struct{ Vertices, Edges int }{}
+	for i := 0; i < 2; i++ {
+		g, _ := crashGraph(t, i)
+		fp, err := p.upload(g)
+		if err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+		acked[fp] = struct{ Vertices, Edges int }{g.NumVertices(), g.NumEdges()}
+	}
+	_, fp0 := crashGraph(t, 0)
+	if err := p.query(fp0, "fast-bcc"); err == nil {
+		t.Fatal("fast-bcc query succeeded despite the engine kill site")
+	}
+	st := p.waitExit()
+	if st.Success() {
+		t.Fatalf("child exited cleanly, want SIGKILL inside the engine: %s", p.stderr())
+	}
+	if !strings.Contains(p.stderr(), "faults: injected kill at "+site) {
+		t.Fatalf("kill did not fire at %s; stderr:\n%s", site, p.stderr())
+	}
+
+	p2 := startBccd(t, dir, "")
+	got, err := p2.graphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fp, want := range acked {
+		g, ok := got[fp]
+		if !ok {
+			t.Fatalf("acknowledged graph %s lost after engine kill", fp)
+		}
+		if g != want {
+			t.Fatalf("graph %s recovered as %+v, want %+v", fp, g, want)
+		}
+	}
+	if err := p2.query(fp0, "fast-bcc"); err != nil {
+		t.Fatalf("fast-bcc query after recovery: %v", err)
+	}
+}
+
 // TestCrashDuringSpillWrite kills the daemon mid-demotion: the torn spill
 // file must be detected by CRC at the next boot and discarded, costing a
 // recompute, never a wrong answer.
@@ -370,11 +419,11 @@ func TestCrashDuringSpillWrite(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := p.query(fp0); err != nil {
+	if err := p.query(fp0, "tv-opt"); err != nil {
 		t.Fatalf("first query: %v", err)
 	}
 	// Second distinct query demotes the first result → spill write → kill.
-	_ = p.query(fp1)
+	_ = p.query(fp1, "tv-opt")
 	st := p.waitExit()
 	if st.Success() {
 		t.Fatalf("child exited cleanly, want SIGKILL during spill write: %s", p.stderr())
@@ -390,10 +439,10 @@ func TestCrashDuringSpillWrite(t *testing.T) {
 	}
 	// Both graphs recovered; the query whose cached result was torn simply
 	// recomputes.
-	if err := p2.query(fp0); err != nil {
+	if err := p2.query(fp0, "tv-opt"); err != nil {
 		t.Fatalf("recompute after torn spill: %v", err)
 	}
-	if err := p2.query(fp1); err != nil {
+	if err := p2.query(fp1, "tv-opt"); err != nil {
 		t.Fatalf("query after recovery: %v", err)
 	}
 }

@@ -1,14 +1,17 @@
-// Command bccjson times the paper's four algorithms on the scaled random
-// instance and writes the medians as machine-readable JSON, for CI trend
-// tracking and external dashboards.
+// Command bccjson times the five algorithms on the scaled random instance
+// and writes the medians as machine-readable JSON, for CI trend tracking
+// and external dashboards.
 //
 // Usage:
 //
-//	bccjson [-scale 0.1] [-reps 3] [-p procs] [-all] [-o BENCH_1.json]
-//	        [-addr URL]
+//	bccjson [-scale 0.1] [-reps 3] [-p procs] [-sweep 1,4] [-all]
+//	        [-o BENCH_1.json] [-addr URL]
 //
 // By default only the first paper instance (m = 4n) is timed; -all sweeps
-// the full Fig. 3 workload.
+// the full Fig. 3 workload. -sweep replaces the single -p worker count
+// with a comma-separated list: every parallel algorithm is measured at
+// every count (the sequential baseline always runs once at p=1), which is
+// how `make bench-json` produces the BENCH_2.json p=1 vs p=4 comparison.
 //
 // With -addr, the measurements run through a live bccd instead of
 // in-process: each instance is uploaded once (content-addressed, so reruns
@@ -31,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,6 +66,7 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "instance scale relative to the paper's n=1M")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	procs := flag.Int("p", 0, "worker count for the parallel algorithms (0 = GOMAXPROCS)")
+	sweep := flag.String("sweep", "", "comma-separated worker counts to sweep (overrides -p)")
 	all := flag.Bool("all", false, "time every paper instance, not just m=4n")
 	out := flag.String("o", "BENCH_1.json", "output file (- for stdout)")
 	addr := flag.String("addr", "", "measure through a running bccd at this base URL instead of in-process")
@@ -71,15 +76,26 @@ func main() {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
+	procsList := []int{p}
+	if *sweep != "" {
+		procsList = nil
+		for _, field := range strings.Split(*sweep, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || v < 1 {
+				log.Fatalf("bad -sweep entry %q", field)
+			}
+			procsList = append(procsList, v)
+		}
+	}
 	instances := bench.PaperInstances(*scale)
 	if !*all {
 		instances = instances[:1]
 	}
 	report := benchReport{Scale: *scale, Reps: *reps, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	if *addr != "" {
-		serviceBench(&report, *addr, instances, p, *reps)
+		serviceBench(&report, *addr, instances, procsList, *reps)
 	} else {
-		localBench(&report, instances, p, *reps)
+		localBench(&report, instances, procsList, *reps)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -99,23 +115,18 @@ func main() {
 	fmt.Printf("wrote %s (%d measurements)\n", *out, len(report.Benchmarks))
 }
 
-// localBench runs the engines in-process, the tool's original mode.
-func localBench(report *benchReport, instances []bench.Instance, p, reps int) {
+// localBench runs the engines in-process, the tool's original mode. The
+// sequential baseline runs once at p=1 per instance; every parallel engine
+// runs at every entry of procsList.
+func localBench(report *benchReport, instances []bench.Instance, procsList []int, reps int) {
 	for _, in := range instances {
 		g := in.Build()
-		var seqTime time.Duration
-		for _, algo := range bench.Algos() {
-			ap := p
-			if algo.Name == "sequential" {
-				ap = 1
-			}
-			m, err := bench.Run(in, g, algo, ap, reps)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if algo.Name == "sequential" {
-				seqTime = m.Time
-			}
+		algos := bench.Algos()
+		seq, err := bench.Run(in, g, algos[0], 1, reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		record := func(m bench.Measurement, ap int) {
 			report.Benchmarks = append(report.Benchmarks, benchRecord{
 				Instance:  in.Name,
 				N:         in.N,
@@ -123,9 +134,19 @@ func localBench(report *benchReport, instances []bench.Instance, p, reps int) {
 				Algorithm: m.Algo,
 				Procs:     ap,
 				MedianNs:  int64(m.Time),
-				Speedup:   m.Speedup(seqTime),
+				Speedup:   m.Speedup(seq.Time),
 			})
 			log.Printf("%-8s %-10s p=%-2d median %v", in.Name, m.Algo, ap, m.Time.Round(time.Microsecond))
+		}
+		record(seq, 1)
+		for _, algo := range algos[1:] {
+			for _, ap := range procsList {
+				m, err := bench.Run(in, g, algo, ap, reps)
+				if err != nil {
+					log.Fatal(err)
+				}
+				record(m, ap)
+			}
 		}
 	}
 }
@@ -133,7 +154,7 @@ func localBench(report *benchReport, instances []bench.Instance, p, reps int) {
 // serviceBench uploads each instance to a running bccd and measures every
 // algorithm through /v1/bcc. MedianNs is end-to-end request latency;
 // Speedup compares the engines' server-reported elapsed_ns.
-func serviceBench(report *benchReport, addr string, instances []bench.Instance, p, reps int) {
+func serviceBench(report *benchReport, addr string, instances []bench.Instance, procsList []int, reps int) {
 	base := strings.TrimRight(addr, "/")
 	client := &httpretry.Client{
 		HTTP: &http.Client{Timeout: 5 * time.Minute},
@@ -163,11 +184,7 @@ func serviceBench(report *benchReport, addr string, instances []bench.Instance, 
 			log.Fatalf("%s: uploading: %v", in.Name, err)
 		}
 		var seqEngine time.Duration
-		for _, algo := range bench.Algos() {
-			ap := p
-			if algo.Name == "sequential" {
-				ap = 1
-			}
+		measure := func(algo bench.Algo, ap int) {
 			var lats []time.Duration
 			var engine time.Duration
 			for rep := 0; rep < reps; rep++ {
@@ -207,6 +224,13 @@ func serviceBench(report *benchReport, addr string, instances []bench.Instance, 
 			})
 			log.Printf("%-8s %-10s p=%-2d median %v (engine %v)",
 				in.Name, algo.Name, ap, median.Round(time.Microsecond), engine.Round(time.Microsecond))
+		}
+		algos := bench.Algos()
+		measure(algos[0], 1)
+		for _, algo := range algos[1:] {
+			for _, ap := range procsList {
+				measure(algo, ap)
+			}
 		}
 	}
 }

@@ -1,4 +1,4 @@
-// Command bccverify cross-validates the four biconnected components
+// Command bccverify cross-validates the five biconnected components
 // implementations against each other on randomized instances — the
 // repository's standing fuzz harness. It generates random graphs across a
 // size/density grid, runs every algorithm at several worker counts, and
@@ -19,6 +19,7 @@ import (
 
 	"bicc/internal/conncomp"
 	"bicc/internal/core"
+	"bicc/internal/fastbcc"
 	"bicc/internal/gen"
 	"bicc/internal/graph"
 )
@@ -42,6 +43,9 @@ func main() {
 		{"tv-smp-wyllie", core.TVSMPWyllie},
 		{"tv-opt", core.TVOpt},
 		{"tv-filter", core.TVFilter},
+		{"fast-bcc", func(p int, g *graph.EdgeList) (*core.Result, error) {
+			return fastbcc.Run(p, g, fastbcc.Config{})
+		}},
 	}
 	for trial := 0; trial < *trials; trial++ {
 		n := 2 + rng.Intn(*maxn-1)

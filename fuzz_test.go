@@ -7,7 +7,7 @@ import (
 )
 
 // FuzzBiconnectedComponents decodes raw bytes into a graph (2 bytes per
-// edge over up to 64 vertices) and cross-checks all four algorithms plus
+// edge over up to 64 vertices) and cross-checks all five algorithms plus
 // the independent verifier. Run with `go test -fuzz FuzzBiconnected` for an
 // open-ended hunt; the seed corpus below runs in normal test mode.
 func FuzzBiconnectedComponents(f *testing.F) {
@@ -37,7 +37,7 @@ func FuzzBiconnectedComponents(f *testing.F) {
 		if err := Verify(g, want); err != nil {
 			t.Fatalf("sequential result fails verification: %v", err)
 		}
-		for _, a := range []Algorithm{TVSMP, TVOpt, TVFilter} {
+		for _, a := range []Algorithm{TVSMP, TVOpt, TVFilter, FastBCC} {
 			got, err := BiconnectedComponents(g, &Options{Algorithm: a, Procs: 2})
 			if err != nil {
 				t.Fatalf("%v: %v", a, err)
@@ -47,6 +47,52 @@ func FuzzBiconnectedComponents(f *testing.F) {
 			}
 			if g.NumEdges() > 0 && !conncomp.SamePartition(got.EdgeComponent, want.EdgeComponent) {
 				t.Fatalf("%v: partition differs from sequential", a)
+			}
+		}
+	})
+}
+
+// FuzzFastBCC holds the skeleton engine to a stricter bar than the shared
+// fuzzer above: byte-identical EdgeComponent against the sequential oracle,
+// not just an equivalent partition — the canonical-labeling contract the
+// incremental layer depends on. Vertices are drawn from a 32-id space so
+// random inputs are frequently disconnected; the seed corpus adds the
+// regimes where skeleton/fence classification is most delicate (trees where
+// every edge is a bridge, bridges joining dense blocks, isolated vertices).
+func FuzzFastBCC(f *testing.F) {
+	f.Add([]byte{})                                         // empty graph
+	f.Add([]byte{0x01, 0x12, 0x23, 0x34})                   // path: every edge a bridge
+	f.Add([]byte{0x01, 0x12, 0x20, 0x23, 0x34, 0x45, 0x53}) // two triangles joined by a bridge
+	f.Add([]byte{0x01, 0x10, 0x45, 0x56, 0x64})             // disconnected: edge + triangle
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05})             // star: bridge-only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		const n = 32
+		var edges []Edge
+		for i := 0; i+1 < len(data); i += 2 {
+			edges = append(edges, Edge{U: int32(data[i] % n), V: int32(data[i+1] % n)})
+		}
+		g, _, _, err := NewGraphNormalized(n, edges)
+		if err != nil {
+			t.Fatalf("normalization rejected in-range input: %v", err)
+		}
+		want, err := BiconnectedComponents(g, &Options{Algorithm: Sequential})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BiconnectedComponents(g, &Options{Algorithm: FastBCC, Procs: 3})
+		if err != nil {
+			t.Fatalf("fast-bcc: %v", err)
+		}
+		if got.NumComponents != want.NumComponents {
+			t.Fatalf("fast-bcc: NumComponents=%d, want %d", got.NumComponents, want.NumComponents)
+		}
+		for i := range want.EdgeComponent {
+			if got.EdgeComponent[i] != want.EdgeComponent[i] {
+				t.Fatalf("fast-bcc: edge %d labeled %d, sequential %d",
+					i, got.EdgeComponent[i], want.EdgeComponent[i])
 			}
 		}
 	})

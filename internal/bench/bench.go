@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"bicc/internal/core"
+	"bicc/internal/fastbcc"
 	"bicc/internal/gen"
 	"bicc/internal/graph"
 	"bicc/internal/obs"
@@ -67,21 +68,38 @@ func log2(x float64) float64 {
 	return l
 }
 
-// Algo is a named biconnected components implementation: a nil Cfg is the
-// sequential baseline, otherwise the TV pipeline described by Cfg.
+// Algo is a named biconnected components implementation bound to its
+// runner. The TV variants all flow through the core pipeline with a
+// different Config; fast-bcc is its own engine, so the harness treats every
+// algorithm as an opaque (p, graph, span) -> result function.
 type Algo struct {
 	Name string
-	Cfg  *core.Config
+	run  func(p int, g *graph.EdgeList, sp *obs.Span) (*core.Result, error)
 }
 
-// Algos returns the paper's four implementations in presentation order.
+// tvAlgo wraps a core pipeline configuration as an Algo.
+func tvAlgo(name string, cfg core.Config) Algo {
+	return Algo{name, func(p int, g *graph.EdgeList, sp *obs.Span) (*core.Result, error) {
+		c := cfg
+		c.Span = sp
+		return core.Custom(p, g, c)
+	}}
+}
+
+// Algos returns the five implementations in presentation order: the
+// sequential baseline, the paper's three TV variants, and the
+// skeleton-based fast-bcc engine.
 func Algos() []Algo {
-	smp, opt, fil := core.TVSMPConfig(), core.TVOptConfig(), core.TVFilterConfig()
 	return []Algo{
-		{"sequential", nil},
-		{"tv-smp", &smp},
-		{"tv-opt", &opt},
-		{"tv-filter", &fil},
+		{"sequential", func(p int, g *graph.EdgeList, sp *obs.Span) (*core.Result, error) {
+			return core.SequentialT(nil, sp, g)
+		}},
+		tvAlgo("tv-smp", core.TVSMPConfig()),
+		tvAlgo("tv-opt", core.TVOptConfig()),
+		tvAlgo("tv-filter", core.TVFilterConfig()),
+		{"fast-bcc", func(p int, g *graph.EdgeList, sp *obs.Span) (*core.Result, error) {
+			return fastbcc.Run(p, g, fastbcc.Config{Span: sp})
+		}},
 	}
 }
 
@@ -93,12 +111,7 @@ func (a Algo) Run(p int, g *graph.EdgeList) (*core.Result, error) {
 // RunSpan is Run with every pipeline phase mirrored as a completed child
 // span of sp, the instrumentation the breakdown harness reads.
 func (a Algo) RunSpan(p int, g *graph.EdgeList, sp *obs.Span) (*core.Result, error) {
-	if a.Cfg == nil {
-		return core.SequentialT(nil, sp, g)
-	}
-	cfg := *a.Cfg
-	cfg.Span = sp
-	return core.Custom(p, g, cfg)
+	return a.run(p, g, sp)
 }
 
 // Measurement is one timed algorithm execution.

@@ -67,8 +67,8 @@ func TestRunAndSpeedup(t *testing.T) {
 	in := Instance{Name: "t", N: 200, M: 600, Seed: 2}
 	g := in.Build()
 	algos := Algos()
-	if len(algos) != 4 {
-		t.Fatalf("%d algorithms, want 4", len(algos))
+	if len(algos) != 5 {
+		t.Fatalf("%d algorithms, want 5", len(algos))
 	}
 	seq, err := Run(in, g, algos[0], 1, 3)
 	if err != nil {
@@ -98,12 +98,12 @@ func TestFig3Output(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 1 sequential + 3 algorithms x 2 procs = 7 measurements.
-	if len(ms) != 7 {
-		t.Errorf("%d measurements, want 7", len(ms))
+	// 1 sequential + 4 algorithms x 2 procs = 9 measurements.
+	if len(ms) != 9 {
+		t.Errorf("%d measurements, want 9", len(ms))
 	}
 	out := buf.String()
-	for _, want := range []string{"sequential", "tv-smp", "tv-opt", "tv-filter", "speedup", "tiny"} {
+	for _, want := range []string{"sequential", "tv-smp", "tv-opt", "tv-filter", "fast-bcc", "speedup", "tiny"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Fig3 output missing %q:\n%s", want, out)
 		}
@@ -117,19 +117,22 @@ func TestFig4Output(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ms) != 3 {
-		t.Errorf("%d measurements, want 3", len(ms))
+	if len(ms) != 4 {
+		t.Errorf("%d measurements, want 4", len(ms))
 	}
 	out := buf.String()
 	for _, want := range []string{"spanning-tree", "euler-tour", "low-high", "label-edge",
-		"connected-components", "filtering", "tv-filter", "total"} {
+		"connected-components", "filtering", "skeleton", "tv-filter", "fast-bcc", "total"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Fig4 output missing %q:\n%s", want, out)
 		}
 	}
-	// TV-filter must actually record filtering time; TV-opt must not.
+	// TV-filter must actually record filtering time; TV-opt must not. The
+	// skeleton step belongs to fast-bcc alone, and fast-bcc never filters
+	// or builds an Euler tour.
 	for _, m := range ms {
 		filt := m.Result.PhaseDuration("filtering")
+		skel := m.Result.PhaseDuration("skeleton")
 		switch m.Algo {
 		case "tv-filter":
 			if filt <= 0 {
@@ -139,6 +142,17 @@ func TestFig4Output(t *testing.T) {
 			if filt != 0 {
 				t.Errorf("%s reports filtering time %v", m.Algo, filt)
 			}
+		case "fast-bcc":
+			if skel <= 0 {
+				t.Error("fast-bcc reports no skeleton time")
+			}
+			if filt != 0 || m.Result.PhaseDuration("euler-tour") != 0 {
+				t.Errorf("fast-bcc reports TV-only phases: filtering=%v euler-tour=%v",
+					filt, m.Result.PhaseDuration("euler-tour"))
+			}
+		}
+		if m.Algo != "fast-bcc" && skel != 0 {
+			t.Errorf("%s reports skeleton time %v", m.Algo, skel)
 		}
 	}
 }
@@ -197,8 +211,8 @@ func TestFig4CSV(t *testing.T) {
 	if len(rows) != len(ms)+1 {
 		t.Fatalf("%d CSV rows, want %d", len(rows), len(ms)+1)
 	}
-	if len(rows[0]) != 5+8 {
-		t.Errorf("header has %d columns, want 13: %v", len(rows[0]), rows[0])
+	if len(rows[0]) != 5+9 {
+		t.Errorf("header has %d columns, want 14: %v", len(rows[0]), rows[0])
 	}
 }
 

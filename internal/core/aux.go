@@ -90,11 +90,11 @@ func buildAux(p int, edges []graph.Edge, isTree []bool, td *treecomp.TreeData, l
 // origID maps local edge indices to positions in edgeComp (nil means
 // identity); TV-filter uses it to overlay results computed on the reduced
 // graph onto the full edge list. Labels are raw (not densified) so callers
-// can keep translating filtered edges before calling finishResult.
-func tvTail(c *par.Canceler, p int, sw *stopwatch, edges []graph.Edge, isTree []bool,
+// can keep translating filtered edges before calling FinishResult.
+func tvTail(c *par.Canceler, p int, sw *Stopwatch, edges []graph.Edge, isTree []bool,
 	td *treecomp.TreeData, low, high []int32, edgeComp []int32, origID []int32) {
 	aux := buildAux(p, edges, isTree, td, low, high)
-	sw.lap(PhaseLabelEdge)
+	sw.Lap(PhaseLabelEdge)
 	labels := conncomp.ShiloachVishkinC(c, p, aux.n, aux.edges)
 	if c.Err() != nil {
 		return
@@ -120,12 +120,15 @@ func tvTail(c *par.Canceler, p int, sw *stopwatch, edges []graph.Edge, isTree []
 			edgeComp[pos] = labels[auxID]
 		}
 	})
-	sw.lap(PhaseConnComp)
+	sw.Lap(PhaseConnComp)
 }
 
-// finishResult densifies the raw component labels into 0..k-1 and wraps the
-// result.
-func finishResult(edgeComp []int32, sw *stopwatch) *Result {
+// FinishResult densifies the raw component labels into first-occurrence
+// order over the edge list — the canonical numbering every engine emits —
+// and wraps them with the stopwatch's phase breakdown. Exported so sibling
+// engines (internal/fastbcc) share the exact canonicalization step the
+// incremental layer's byte-equality contract depends on.
+func FinishResult(edgeComp []int32, sw *Stopwatch) *Result {
 	k := conncomp.Normalize(edgeComp)
 	return &Result{NumComp: k, EdgeComp: edgeComp, Phases: sw.phases}
 }

@@ -1,15 +1,19 @@
-package core
+// This test lives in package core_test (not core) so it can pull in the
+// fastbcc engine, which itself imports core.
+package core_test
 
 import (
 	"fmt"
 	"testing"
 
+	"bicc/internal/core"
+	"bicc/internal/fastbcc"
 	"bicc/internal/gen"
 	"bicc/internal/graph"
 )
 
 // TestCanonicalLabels pins the property the incremental layer builds on: all
-// four engines emit the same EdgeComp byte for byte, because every engine
+// five engines emit the same EdgeComp byte for byte, because every engine
 // densifies block ids into first-occurrence order over the edge list. A
 // partial recomputation stitched into that numbering is then
 // indistinguishable from a from-scratch run of any engine.
@@ -23,13 +27,14 @@ func TestCanonicalLabels(t *testing.T) {
 	}
 	type engine struct {
 		name string
-		run  func(g *graph.EdgeList) (*Result, error)
+		run  func(g *graph.EdgeList) (*core.Result, error)
 	}
 	engines := []engine{
-		{"sequential", func(g *graph.EdgeList) (*Result, error) { return SequentialC(nil, g) }},
-		{"tv-smp", func(g *graph.EdgeList) (*Result, error) { return Custom(3, g, TVSMPConfig()) }},
-		{"tv-opt", func(g *graph.EdgeList) (*Result, error) { return Custom(3, g, TVOptConfig()) }},
-		{"tv-filter", func(g *graph.EdgeList) (*Result, error) { return Custom(3, g, TVFilterConfig()) }},
+		{"sequential", func(g *graph.EdgeList) (*core.Result, error) { return core.SequentialC(nil, g) }},
+		{"tv-smp", func(g *graph.EdgeList) (*core.Result, error) { return core.Custom(3, g, core.TVSMPConfig()) }},
+		{"tv-opt", func(g *graph.EdgeList) (*core.Result, error) { return core.Custom(3, g, core.TVOptConfig()) }},
+		{"tv-filter", func(g *graph.EdgeList) (*core.Result, error) { return core.Custom(3, g, core.TVFilterConfig()) }},
+		{"fast-bcc", func(g *graph.EdgeList) (*core.Result, error) { return fastbcc.Run(3, g, fastbcc.Config{}) }},
 	}
 	for fname, g := range families {
 		want, err := engines[0].run(g)

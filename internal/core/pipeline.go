@@ -99,7 +99,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
 	}
 	p = par.Procs(p)
 	faults.Inject(cfg.Cancel, siteEntry, 0, int(cfg.SpanningTree))
-	sw := newStopwatchSpan(cfg.Span)
+	sw := NewStopwatch(cfg.Span)
 	// Step 1 (+3 for rooted variants): spanning tree.
 	var (
 		td         *treecomp.TreeData
@@ -117,12 +117,12 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
 		}
 		roots := rootsFromLabels(f.Labels)
 		isTree = f.Mark(p, mGlobal)
-		sw.lap(PhaseSpanningTree)
+		sw.Lap(PhaseSpanningTree)
 		linkedTour, err = eulertour.FromForest(p, g.N, g.Edges, f.TreeEdges, roots)
 		if err != nil {
 			return nil, err
 		}
-		sw.lap(PhaseEulerTour)
+		sw.Lap(PhaseEulerTour)
 	case SpanWorkStealing, SpanBFS:
 		c := graph.ToCSR(p, g)
 		if cfg.SpanningTree == SpanWorkStealing {
@@ -134,7 +134,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
 			return nil, err
 		}
 		isTree = rooted.TreeEdgeMark(p, mGlobal)
-		sw.lap(PhaseSpanningTree)
+		sw.Lap(PhaseSpanningTree)
 	default:
 		return nil, fmt.Errorf("core: unknown spanning tree kind %d", cfg.SpanningTree)
 	}
@@ -154,7 +154,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
 		if err := cfg.Cancel.Err(); err != nil {
 			return nil, err
 		}
-		sw.lap(PhaseFiltering)
+		sw.Lap(PhaseFiltering)
 	}
 
 	// Step 2 for the rooted variants: tour in traversal order.
@@ -164,7 +164,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
 		} else {
 			seq = eulertour.DFSOrder(p, g.Edges, rooted)
 		}
-		sw.lap(PhaseEulerTour)
+		sw.Lap(PhaseEulerTour)
 	}
 	// Step 3: tree computations. For the SV path this is where the list
 	// ranking runs, which is the paper's "root" cost.
@@ -182,7 +182,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
 	if err := cfg.Cancel.Err(); err != nil {
 		return nil, err
 	}
-	sw.lap(PhaseRoot)
+	sw.Lap(PhaseRoot)
 
 	// Step 4: low/high.
 	var low, high []int32
@@ -195,7 +195,7 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
 	if err := cfg.Cancel.Err(); err != nil {
 		return nil, err
 	}
-	sw.lap(PhaseLowHigh)
+	sw.Lap(PhaseLowHigh)
 
 	// Steps 5–6 plus the filtered-edge relabeling.
 	edgeComp := make([]int32, mGlobal)
@@ -218,9 +218,9 @@ func Custom(p int, g *graph.EdgeList, cfg Config) (res *Result, err error) {
 				edgeComp[i] = edgeComp[rooted.ParentEdge[u]]
 			}
 		})
-		sw.lap(PhaseFiltering)
+		sw.Lap(PhaseFiltering)
 	}
-	return finishResult(edgeComp, sw), nil
+	return FinishResult(edgeComp, sw), nil
 }
 
 // filterNonEssential implements steps 1–2 of Alg. 2 given the BFS tree:

@@ -25,12 +25,17 @@ const (
 	PhaseLabelEdge    = "label-edge"
 	PhaseConnComp     = "connected-components"
 	PhaseFiltering    = "filtering"
+	// PhaseSkeleton is the fence-classification + skeleton-construction step
+	// of the FAST-BCC engine; the TV variants never record it, mirroring how
+	// only TV-filter records PhaseFiltering.
+	PhaseSkeleton = "skeleton"
 )
 
 // PhaseOrder is the canonical ordering of phases for breakdown reports.
 var PhaseOrder = []string{
 	PhaseSpanningTree, PhaseEulerTour, PhaseRoot,
 	PhaseLowHigh, PhaseLabelEdge, PhaseConnComp, PhaseFiltering,
+	PhaseSkeleton,
 }
 
 // Phase is one timed step of an algorithm run.
@@ -70,26 +75,25 @@ func (r *Result) Total() time.Duration {
 	return d
 }
 
-// stopwatch accumulates named phases. When constructed with a span it also
+// Stopwatch accumulates named phases. When constructed with a span it also
 // emits every lap as a completed child span, so the Result.Phases breakdown
 // and an attached obs trace are two views of the same measurements and can
-// never disagree.
-type stopwatch struct {
+// never disagree. It is exported so sibling engines (internal/fastbcc)
+// record phases through the exact same mechanism as the TV pipelines.
+type Stopwatch struct {
 	phases []Phase
 	last   time.Time
 	span   *obs.Span
 }
 
-func newStopwatch() *stopwatch { return &stopwatch{last: time.Now()} }
-
-// newStopwatchSpan returns a stopwatch whose laps are mirrored as child
-// spans of sp (a nil sp records no spans).
-func newStopwatchSpan(sp *obs.Span) *stopwatch {
-	return &stopwatch{last: time.Now(), span: sp}
+// NewStopwatch returns a stopwatch whose laps are mirrored as child spans of
+// sp (a nil sp records no spans).
+func NewStopwatch(sp *obs.Span) *Stopwatch {
+	return &Stopwatch{last: time.Now(), span: sp}
 }
 
-// lap records the time since the previous lap (or construction) under name.
-func (s *stopwatch) lap(name string) {
+// Lap records the time since the previous lap (or construction) under name.
+func (s *Stopwatch) Lap(name string) {
 	now := time.Now()
 	s.phases = append(s.phases, Phase{Name: name, Duration: now.Sub(s.last)})
 	s.span.ChildInterval(name, s.last, now)

@@ -42,7 +42,7 @@ func SequentialT(cn *par.Canceler, sp *obs.Span, g *graph.EdgeList) (res *Result
 		}
 	}()
 	faults.Inject(cn, siteSeq, 0, 0)
-	sw := newStopwatchSpan(sp)
+	sw := NewStopwatch(sp)
 	c := graph.ToCSR(1, g)
 	n := int(g.N)
 	m := len(g.Edges)
@@ -136,7 +136,7 @@ func SequentialT(cn *par.Canceler, sp *obs.Span, g *graph.EdgeList) (res *Result
 			}
 		}
 	}
-	sw.lap("sequential-dfs")
+	sw.Lap("sequential-dfs")
 	// Densify block ids into first-occurrence order over the edge list, the
 	// same canonical numbering the TV engines emit from finishResult. The DFS
 	// pops blocks in completion order, which is a different (if equally

@@ -32,7 +32,7 @@ func diffFamilies() []diffFamily {
 	}
 }
 
-var diffAlgorithms = []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter}
+var diffAlgorithms = []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter, bicc.FastBCC}
 
 // engineRun returns a Recompute bound to one algorithm.
 func engineRun(algo bicc.Algorithm) Recompute {

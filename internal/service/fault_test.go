@@ -371,7 +371,7 @@ func TestFaultHammer(t *testing.T) {
 	rule.Every = 3 // deterministic 1-in-3 of pipeline checkpoints
 	faults.Activate(&faults.Plan{Seed: 99, Rules: []*faults.Rule{rule}})
 
-	algos := []string{"tv-smp", "tv-opt", "tv-filter", "auto"}
+	algos := []string{"tv-smp", "tv-opt", "tv-filter", "fast-bcc", "auto"}
 	var wg sync.WaitGroup
 	errs := make(chan string, 256)
 	for w := 0; w < 8; w++ {

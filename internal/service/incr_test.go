@@ -214,7 +214,7 @@ func TestMutationEndpointDifferential(t *testing.T) {
 		{"torus", gen.Torus(8, 10)},
 		{"star-chain", gen.Caterpillar(24, 4)},
 	}
-	algos := []string{"sequential", "tv-smp", "tv-opt", "tv-filter"}
+	algos := []string{"sequential", "tv-smp", "tv-opt", "tv-filter", "fast-bcc"}
 
 	sm, tsm := newTestServer(t, Config{}) // mutated server
 	_, tss := newTestServer(t, Config{})  // scratch server

@@ -181,7 +181,7 @@ func New(cfg Config) *Server {
 	}
 	s.stats = newStats(s.metrics)
 	s.incr = newIncrState(s.metrics, cfg.IncrThreshold)
-	for _, a := range []bicc.Algorithm{bicc.Auto, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
+	for _, a := range []bicc.Algorithm{bicc.Auto, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter, bicc.FastBCC} {
 		s.breakers[a.String()] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	s.registerLiveMetrics()
@@ -291,19 +291,12 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func parseAlgorithm(s string) (bicc.Algorithm, error) {
-	switch s {
-	case "", "auto":
+	if s == "" {
 		return bicc.Auto, nil
-	case "sequential":
-		return bicc.Sequential, nil
-	case "tv-smp":
-		return bicc.TVSMP, nil
-	case "tv-opt":
-		return bicc.TVOpt, nil
-	case "tv-filter":
-		return bicc.TVFilter, nil
 	}
-	return 0, fmt.Errorf("unknown algorithm %q", s)
+	// The library's parser owns the name set (and the error that lists the
+	// valid presets), so the service can never drift from new engines.
+	return bicc.ParseAlgorithm(s)
 }
 
 // readGraph parses a graph from r. With normalize set, self loops and

@@ -405,6 +405,9 @@ func TestHealthzAndStatsz(t *testing.T) {
 	if _, data := postBCC(t, ts, bccRequest{Graph: up.Fingerprint}); len(data) == 0 {
 		t.Fatal("empty bcc response")
 	}
+	if _, data := postBCC(t, ts, bccRequest{Graph: up.Fingerprint, Algorithm: "fast-bcc"}); len(data) == 0 {
+		t.Fatal("empty fast-bcc response")
+	}
 	resp, err = http.Get(ts.URL + "/statsz")
 	if err != nil {
 		t.Fatal(err)
@@ -414,11 +417,21 @@ func TestHealthzAndStatsz(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap.Requests != 1 || snap.Computations != 1 || snap.Graphs != 1 {
+	if snap.Requests != 2 || snap.Computations != 2 || snap.Graphs != 1 {
 		t.Fatalf("statsz: %+v", snap)
 	}
 	if len(snap.Latency) == 0 {
 		t.Fatal("statsz has no latency histograms after a computation")
+	}
+	// Every engine gets its own circuit breaker, present from the first
+	// snapshot on; the fast-bcc query above also leaves a latency row.
+	for _, name := range []string{"tv-smp", "tv-opt", "tv-filter", "fast-bcc"} {
+		if _, ok := snap.Breakers[name]; !ok {
+			t.Errorf("statsz missing breaker entry for %q", name)
+		}
+	}
+	if _, ok := snap.Latency["fast-bcc"]; !ok {
+		t.Error("statsz missing latency histogram for fast-bcc after a fast-bcc query")
 	}
 }
 

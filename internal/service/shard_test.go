@@ -80,7 +80,7 @@ func TestShardHTTPDifferential(t *testing.T) {
 	}
 	up := uploadGraph(t, ts, g, "")
 
-	for _, algoName := range []string{"sequential", "tv-smp", "tv-opt", "tv-filter"} {
+	for _, algoName := range []string{"sequential", "tv-smp", "tv-opt", "tv-filter", "fast-bcc"} {
 		t.Run(algoName, func(t *testing.T) {
 			algo, err := parseAlgorithm(algoName)
 			if err != nil {

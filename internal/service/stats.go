@@ -54,7 +54,7 @@ func newStats(reg *obs.Registry) Stats {
 	}
 	lat := reg.HistogramVec("bicc_request_seconds",
 		"End-to-end engine computation latency by executing algorithm.", "algorithm")
-	for _, a := range []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter} {
+	for _, a := range []bicc.Algorithm{bicc.Sequential, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter, bicc.FastBCC} {
 		st.perAlgorithm[a.String()] = lat.With(a.String())
 	}
 	return st
