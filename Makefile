@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-fastbcc test-obs lint-obs fuzz-durable fuzz-shard test-shard test-incr fuzz-incr race-service test-crash test-repl test-failover fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-fastbcc test-obs lint-obs fuzz-durable fuzz-shard test-shard test-incr fuzz-incr race-service test-crash test-repl test-failover test-scrub fuzz-repl fmt vet clean
 
 all: build test
 
@@ -134,6 +134,29 @@ test-repl:
 test-failover:
 	$(GO) test ./cmd/bccd -run 'NodeKill' -count=1 -v
 
+# Self-healing storage suite. test-scrub runs (race-enabled) the scrubber
+# core, the KindCorrupt injection matrix rows (faults + per-tier image
+# checks + ring scrub), the service-level repair-ladder/quarantine tests,
+# and the bit-rot chaos harness: bccd subprocesses with real bytes flipped
+# on disk per tier, scrubbed, and proven byte-identical afterward.
+# fuzz-repl hammers the replication frame decoders like fuzz-durable does
+# the durable codecs: arbitrary wire bytes must error, never panic, and
+# never allocate far ahead of the stream.
+test-scrub:
+	$(GO) test -race ./internal/scrub -count=1
+	$(GO) test -race -run 'Corrupt|Scrub|CheckWALImage|CheckSnapshotImage|CheckSpillImage|CheckBlobImage|SpillKeys' ./internal/faults ./internal/durable ./internal/repl ./internal/service -count=1
+	$(GO) test -race -run 'Oracle|ReconstructRejects' . -count=1
+	$(GO) test ./cmd/bccd -run 'BitRot' -count=1 -v
+
+fuzz-repl:
+	$(GO) test ./internal/repl -run FuzzNothing -fuzz FuzzReadMsg$$ -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/repl -run FuzzNothing -fuzz FuzzReadMsgAllocationBound -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/repl -run FuzzNothing -fuzz FuzzParseHello -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/repl -run FuzzNothing -fuzz FuzzParseSnapBegin -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/repl -run FuzzNothing -fuzz FuzzParseRecord -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/repl -run FuzzNothing -fuzz FuzzParseU64 -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/repl -run FuzzNothing -fuzz FuzzParseU32 -fuzztime $(FUZZTIME)
+
 # Static analysis for the obs package beyond go vet. staticcheck is optional:
 # the target degrades to a notice when the tool isn't installed.
 lint-obs:
@@ -149,9 +172,10 @@ lint-obs:
 # (decoder fuzzing, race-enabled service tests, crash harness), the shard
 # suite (differential harness + codec fuzzing), the incremental suite
 # (mutation differential harness + delta fuzzing), the replication suite
-# (standby differential harness + multi-process node-kill failover), and a
-# benchmark snapshot.
-ci: vet lint-obs race test-fastbcc test-faults test-obs fuzz-durable test-shard fuzz-shard test-incr fuzz-incr race-service test-crash test-repl test-failover bench-json
+# (standby differential harness + multi-process node-kill failover), the
+# self-healing suite (scrubber + bit-rot chaos harness + repl frame
+# fuzzing), and a benchmark snapshot.
+ci: vet lint-obs race test-fastbcc test-faults test-obs fuzz-durable test-shard fuzz-shard test-incr fuzz-incr race-service test-crash test-repl test-failover test-scrub fuzz-repl bench-json
 
 fmt:
 	gofmt -l -w .

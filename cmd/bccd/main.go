@@ -14,7 +14,8 @@
 //	     [-spill-budget B] [-shard] [-shard-budget B] [-shard-spill-budget B]
 //	     [-incr-threshold R] [-replay-log-every N]
 //	     [-repl-listen ADDR] [-repl-follow ADDR] [-repl-quorum N]
-//	     [-repl-ack-timeout D]
+//	     [-repl-ack-timeout D] [-verify-sample N]
+//	     [-scrub-interval D] [-scrub-budget B] [-scrub-cert-sample N]
 //
 // With -data-dir set, the daemon is durable: every acknowledged graph
 // upload is fsync'd to a write-ahead log before the response is sent,
@@ -34,6 +35,19 @@
 // -shard-spill-budget) and promote back on demand; without -data-dir the
 // layer is memory-only. If a shard build fails, the query is answered
 // through the monolithic cached path and marked degraded.
+//
+// With -scrub-interval, a durable daemon runs a background scrubber: every
+// interval it re-reads the durable tiers — WAL segments, snapshots, spilled
+// results, demoted shard blobs, the replication retention ring — re-verifies
+// their CRC-32C frames (plus a sampled full recomputation check on spilled
+// results), and heals anything damaged from the cheapest healthy source:
+// re-demote from the memory cache, recompute from the resident graph,
+// compact a fresh snapshot generation, or (on a standby) resync from the
+// primary. Artifacts nothing can heal are moved to <data-dir>/quarantine and
+// flip /healthz to 503 until an operator clears them. -scrub-budget bounds
+// the bytes re-verified per cycle (rotating cursors keep coverage complete
+// across cycles); POST /v1/admin/scrub runs one cycle on demand, with or
+// without the background loop.
 //
 // With -repl-listen, a durable daemon is a replication primary: every WAL
 // record (graph uploads, deletes, mutation deltas) streams to connected
@@ -77,6 +91,7 @@
 //	POST   /v1/admin/follow  re-point a standby at a new primary's
 //	                         replication listener: {"addr": "host:port"}
 //	                         (the router calls this after a failover)
+//	POST   /v1/admin/scrub   run one scrub cycle now, report in the response
 //	GET    /healthz          liveness
 //	GET    /statsz           cache hit rate, queue depth, latency histograms
 //	GET    /metrics          Prometheus text exposition (engine + service)
@@ -154,6 +169,10 @@ func main() {
 	replFollow := flag.String("repl-follow", "", "run as a warm standby following the primary's -repl-listen address (requires -data-dir)")
 	replQuorum := flag.Int("repl-quorum", 0, "standby acks to wait for per write before answering the client (0 = 1; degrades on timeout)")
 	replAckTimeout := flag.Duration("repl-ack-timeout", 0, "bound on the per-write standby-ack wait (0 = 2s)")
+	verifySample := flag.Int("verify-sample", 0, "spilled results re-verified end to end at boot (0 = 3)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background scrub cycle cadence (0 = manual cycles via POST /v1/admin/scrub only)")
+	scrubBudget := flag.Int64("scrub-budget", 0, "bytes re-verified per scrub cycle; cursors resume next cycle (0 = unlimited)")
+	scrubCertSample := flag.Int("scrub-cert-sample", 0, "re-verify every Nth spilled result's content via recomputation certificate (0 = 8)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a graph at startup: name=path or just path (repeatable; format by extension)")
 	flag.Parse()
@@ -188,6 +207,7 @@ func main() {
 			CompactBytes:   *compactBytes,
 			SpillBudget:    *spillBudget,
 			MemBudget:      *memBudget,
+			VerifySample:   *verifySample,
 			ReplayLogEvery: *replayLogEvery,
 			Logf:           log.Printf,
 		})
@@ -235,6 +255,23 @@ func main() {
 			log.Printf("sharding enabled (spill dir %s)", cfg.SpillDir)
 		} else {
 			log.Printf("sharding enabled (memory-only)")
+		}
+	}
+	if *dataDir != "" {
+		// Enabled last so every durable tier (including shard spill and the
+		// replication ring) is already visible to the tier adapters. With no
+		// -scrub-interval the loop stays off and POST /v1/admin/scrub runs
+		// cycles on demand.
+		if err := srv.EnableScrub(service.ScrubConfig{
+			Interval:   *scrubInterval,
+			Budget:     *scrubBudget,
+			CertSample: *scrubCertSample,
+			Logf:       log.Printf,
+		}); err != nil {
+			log.Fatalf("scrub: %v", err)
+		}
+		if *scrubInterval > 0 {
+			log.Printf("scrubber: background cycle every %v (budget %d bytes/cycle)", *scrubInterval, *scrubBudget)
 		}
 	}
 	for _, spec := range loads {
@@ -312,7 +349,9 @@ func main() {
 	// acknowledged write is already on disk (or in the sync loop's hands),
 	// and closing last guarantees a clean stop leaves files the next boot
 	// recovers with zero truncations. Replication stops first — no more
-	// records will be published.
+	// records will be published — and the scrubber before that: its repair
+	// ladder reaches into both subsystems.
+	srv.CloseScrub()
 	srv.CloseReplication()
 	if derr := srv.CloseDurability(); derr != nil {
 		log.Printf("closing data dir: %v", derr)

@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestInjectCorruptDeterministic proves the bit-rot hook flips exactly one
+// bit, at the same position for the same (seed, site, worker, iter), and a
+// different position when any coordinate changes — the property that makes
+// corrupt schedules replayable like every other fault kind.
+func TestInjectCorruptDeterministic(t *testing.T) {
+	defer Deactivate()
+	site := RegisterSite("test.corrupt.det", false)
+
+	flip := func(seed uint64, iter int) []byte {
+		Activate(&Plan{Seed: seed, Rules: []*Rule{NewRule(KindCorrupt, site)}})
+		defer Deactivate()
+		buf := make([]byte, 64)
+		if !InjectCorrupt(site, 0, iter, buf) {
+			t.Fatalf("InjectCorrupt did not fire (seed %d, iter %d)", seed, iter)
+		}
+		return buf
+	}
+
+	a, b := flip(7, 0), flip(7, 0)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same seed/site/iter flipped different bits")
+	}
+	ones := 0
+	for _, x := range a {
+		for ; x != 0; x &= x - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Errorf("flipped %d bits, want exactly 1", ones)
+	}
+	if bytes.Equal(flip(7, 0), flip(7, 1)) && bytes.Equal(flip(7, 1), flip(7, 2)) {
+		t.Errorf("three consecutive iters flipped the same bit; hash not mixing iter")
+	}
+	if bytes.Equal(flip(7, 0), flip(8, 0)) && bytes.Equal(flip(8, 0), flip(9, 0)) {
+		t.Errorf("three seeds flipped the same bit; hash not mixing seed")
+	}
+}
+
+// TestInjectCorruptGating proves the no-plan, empty-buffer, wrong-site, and
+// wrong-kind paths all leave the buffer untouched and report false.
+func TestInjectCorruptGating(t *testing.T) {
+	defer Deactivate()
+	site := RegisterSite("test.corrupt.gate", false)
+	other := RegisterSite("test.corrupt.other", false)
+	buf := []byte{0xAA, 0x55}
+	want := []byte{0xAA, 0x55}
+
+	Deactivate()
+	if InjectCorrupt(site, 0, 0, buf) || !bytes.Equal(buf, want) {
+		t.Errorf("no active plan must be a no-op")
+	}
+
+	Activate(&Plan{Seed: 1, Rules: []*Rule{NewRule(KindCorrupt, other)}})
+	if InjectCorrupt(site, 0, 0, buf) || !bytes.Equal(buf, want) {
+		t.Errorf("non-matching site must be a no-op")
+	}
+
+	Activate(&Plan{Seed: 1, Rules: []*Rule{NewRule(KindPanic, site)}})
+	if InjectCorrupt(site, 0, 0, buf) || !bytes.Equal(buf, want) {
+		t.Errorf("non-corrupt rule must be a no-op in InjectCorrupt")
+	}
+
+	Activate(&Plan{Seed: 1, Rules: []*Rule{NewRule(KindCorrupt, site)}})
+	if InjectCorrupt(site, 0, 0, nil) {
+		t.Errorf("empty buffer must report false")
+	}
+}
+
+// TestInjectCorruptCount proves count=N caps firing like every other kind.
+func TestInjectCorruptCount(t *testing.T) {
+	defer Deactivate()
+	site := RegisterSite("test.corrupt.count", false)
+	r := NewRule(KindCorrupt, site)
+	r.Count = 1
+	Activate(&Plan{Seed: 3, Rules: []*Rule{r}})
+	buf := make([]byte, 16)
+	if !InjectCorrupt(site, 0, 0, buf) {
+		t.Fatalf("first injection did not fire")
+	}
+	snapshot := append([]byte(nil), buf...)
+	for i := 1; i < 5; i++ {
+		if InjectCorrupt(site, 0, i, buf) {
+			t.Errorf("count=1 rule fired again at iter %d", i)
+		}
+	}
+	if !bytes.Equal(buf, snapshot) {
+		t.Errorf("buffer changed after the count cap")
+	}
+}
+
+// TestCorruptInertAtPlainInject proves KindCorrupt rules are harmless at
+// sites that call the plain Inject hook — no data to damage, no panic, no
+// delay.
+func TestCorruptInertAtPlainInject(t *testing.T) {
+	defer Deactivate()
+	site := RegisterSite("test.corrupt.inert", false)
+	Activate(&Plan{Seed: 1, Rules: []*Rule{NewRule(KindCorrupt, "*")}})
+	Inject(nil, site, 0, 0) // must not panic or block
+}
+
+// TestParseCorrupt proves the spec grammar round-trips the new kind.
+func TestParseCorrupt(t *testing.T) {
+	plan, err := Parse("corrupt,site=wal.verify,count=1", 42)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(plan.Rules) != 1 {
+		t.Fatalf("got %d rules, want 1", len(plan.Rules))
+	}
+	r := plan.Rules[0]
+	if r.Kind != KindCorrupt || r.Site != "wal.verify" || r.Count != 1 {
+		t.Errorf("rule = %+v, want corrupt/wal.verify/count=1", r)
+	}
+	if KindCorrupt.String() != "corrupt" {
+		t.Errorf("KindCorrupt.String() = %q", KindCorrupt.String())
+	}
+}

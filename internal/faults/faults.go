@@ -38,10 +38,11 @@ import (
 var (
 	mInjected = obs.Default().CounterVec("bicc_fault_injections_total",
 		"Faults injected by the deterministic injection framework, by kind.", "kind")
-	mInjPanic  = mInjected.With(KindPanic.String())
-	mInjDelay  = mInjected.With(KindDelay.String())
-	mInjCancel = mInjected.With(KindCancel.String())
-	mInjKill   = mInjected.With(KindKill.String())
+	mInjPanic   = mInjected.With(KindPanic.String())
+	mInjDelay   = mInjected.With(KindDelay.String())
+	mInjCancel  = mInjected.With(KindCancel.String())
+	mInjKill    = mInjected.With(KindKill.String())
+	mInjCorrupt = mInjected.With(KindCorrupt.String())
 )
 
 // Kind is the effect a rule injects at a matching site.
@@ -64,6 +65,12 @@ const (
 	// harnesses that run the victim as a subprocess (the durable.* sites);
 	// it is never part of the in-process fault matrix.
 	KindKill
+	// KindCorrupt flips one deterministic bit in the byte buffer offered at
+	// a data-bearing site (the scrub/verify read paths), simulating silent
+	// bit-rot on disk or in a retention buffer. It only takes effect through
+	// InjectCorrupt — sites that call the plain Inject hook carry no data to
+	// damage, so KindCorrupt is inert there.
+	KindCorrupt
 )
 
 // String names the kind as used in BICC_FAULTS specs.
@@ -77,6 +84,8 @@ func (k Kind) String() string {
 		return "cancel"
 	case KindKill:
 		return "kill"
+	case KindCorrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -201,6 +210,29 @@ func Inject(c *par.Canceler, site string, worker, iter int) {
 	p.fire(c, site, worker, iter)
 }
 
+// InjectCorrupt is the data-path injection hook: verify/read sites that hold
+// the raw bytes of a durable artifact offer them here, and any matching
+// KindCorrupt rule flips one deterministic bit — the same (seed, site,
+// worker, iter) always flips the same bit, so a bit-rot schedule replays
+// exactly like every other fault kind. Returns whether any bit was flipped.
+func InjectCorrupt(site string, worker, iter int, buf []byte) bool {
+	p := active.Load()
+	if p == nil || len(buf) == 0 {
+		return false
+	}
+	flipped := false
+	for _, r := range p.Rules {
+		if r.Kind != KindCorrupt || !r.matches(p.Seed, site, worker, iter) {
+			continue
+		}
+		bit := keyHash(p.Seed, site, worker, iter) % uint64(len(buf)*8)
+		buf[bit/8] ^= 1 << (bit % 8)
+		mInjCorrupt.Inc()
+		flipped = true
+	}
+	return flipped
+}
+
 func (p *Plan) fire(c *par.Canceler, site string, worker, iter int) {
 	for _, r := range p.Rules {
 		if !r.matches(p.Seed, site, worker, iter) {
@@ -225,6 +257,9 @@ func (p *Plan) fire(c *par.Canceler, site string, worker, iter int) {
 		case KindKill:
 			mInjKill.Inc()
 			killSelf(site, worker, iter)
+		case KindCorrupt:
+			// No byte buffer at a plain injection point; corruption is
+			// delivered through InjectCorrupt on the verify/read paths.
 		}
 	}
 }
@@ -320,6 +355,8 @@ func Parse(spec string, seed uint64) (*Plan, error) {
 			kind = KindCancel
 		case "kill":
 			kind = KindKill
+		case "corrupt":
+			kind = KindCorrupt
 		default:
 			return nil, fmt.Errorf("unknown fault kind %q in rule %q", fields[0], rs)
 		}

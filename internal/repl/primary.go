@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -26,6 +27,11 @@ var (
 	// before the client is acknowledged — the at-least-once analog of
 	// durable.wal.sync. worker = follower id, iter = acked sequence.
 	siteAck = faults.RegisterSite("repl.ack", false)
+	// siteRingVerify is the bit-rot injection site on the retention ring's
+	// scrub path: a KindCorrupt rule there flips one bit in a buffered
+	// record's payload before its checksum is re-verified. iter = record
+	// sequence number.
+	siteRingVerify = faults.RegisterSite("repl.ring", false)
 )
 
 // ErrNoFollowers reports a quorum wait with zero connected standbys: the
@@ -37,11 +43,19 @@ var ErrNoFollowers = errors.New("repl: no followers connected")
 // be acknowledged to the client; the caller only counts the degrade.
 var ErrQuorumTimeout = errors.New("repl: quorum ack timeout")
 
-// record is one ring-buffered WAL record awaiting shipment.
+// record is one ring-buffered WAL record awaiting shipment. sum is a
+// CRC-32C over (kind ++ payload) taken at publish time, so the scrubber can
+// detect a record whose buffered bytes rotted after they were sequenced.
 type record struct {
 	seq     uint64
 	kind    byte
 	payload []byte
+	sum     uint32
+}
+
+// ringSum computes a ring record's publish-time checksum.
+func ringSum(kind byte, payload []byte) uint32 {
+	return crc32.Update(crc32.Checksum([]byte{kind}, msgCRCTable), msgCRCTable, payload)
 }
 
 // PrimaryConfig tunes a Primary. Zero values pick defaults.
@@ -173,7 +187,7 @@ func (p *Primary) Publish(kind byte, payload []byte) uint64 {
 	p.mu.Lock()
 	p.seq++
 	seq := p.seq
-	p.ring = append(p.ring, record{seq: seq, kind: kind, payload: cp})
+	p.ring = append(p.ring, record{seq: seq, kind: kind, payload: cp, sum: ringSum(kind, cp)})
 	// Amortized trim: compacting on every publish would copy RingSize
 	// records per call (under the durable store's mutex, transitively), so
 	// let the slice grow to twice the retention floor and shed the older
@@ -474,6 +488,43 @@ func (p *Primary) serveFollower(f *follower) {
 			return
 		}
 	}
+}
+
+// RingScrubReport summarizes one retention-ring scrub pass.
+type RingScrubReport struct {
+	Checked int   // records whose checksums were re-verified
+	Corrupt int   // records whose buffered bytes no longer match their sum
+	Dropped int   // records discarded to restore ring integrity
+	Bytes   int64 // payload bytes verified
+}
+
+// ScrubRing re-verifies every retained record's publish-time checksum. The
+// ring must stay a contiguous suffix of history — serveFollower slices it by
+// sequence — so a corrupt record cannot be excised alone: the ring is
+// truncated through the newest damaged record, and any follower whose cursor
+// falls behind the new floor is repaired by the existing snapshot-resync
+// path on its next batch. That resync IS the repair: the authoritative bytes
+// live in the durable store, not the ring.
+func (p *Primary) ScrubRing() RingScrubReport {
+	var rep RingScrubReport
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	last := -1
+	for i := range p.ring {
+		rec := &p.ring[i]
+		rep.Checked++
+		rep.Bytes += int64(len(rec.payload))
+		faults.InjectCorrupt(siteRingVerify, 0, int(rec.seq), rec.payload)
+		if ringSum(rec.kind, rec.payload) != rec.sum {
+			rep.Corrupt++
+			last = i
+		}
+	}
+	if last >= 0 {
+		rep.Dropped = last + 1
+		p.ring = append([]record(nil), p.ring[last+1:]...)
+	}
+	return rep
 }
 
 // ringCoversLocked reports whether the retention ring can serve records

@@ -55,6 +55,11 @@ func writeMsg(w *bufio.Writer, typ byte, payload []byte) error {
 	return err
 }
 
+// readChunk bounds how much readMsg allocates ahead of the bytes actually
+// arriving: a corrupt length prefix claiming a near-cap payload on a short
+// stream must fail after one chunk, not after a 1 GiB make.
+const readChunk = 64 << 10
+
 // readMsg reads one framed message, validating length and CRC.
 func readMsg(r *bufio.Reader) (typ byte, payload []byte, err error) {
 	var hdr [9]byte
@@ -66,8 +71,7 @@ func readMsg(r *bufio.Reader) (typ byte, payload []byte, err error) {
 	if n > maxMsgLen {
 		return 0, nil, fmt.Errorf("repl: message length %d exceeds cap", n)
 	}
-	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if payload, err = readN(r, int(n)); err != nil {
 		return 0, nil, err
 	}
 	crc := crc32.Update(crc32.Checksum(hdr[:1], msgCRCTable), msgCRCTable, payload)
@@ -75,6 +79,26 @@ func readMsg(r *bufio.Reader) (typ byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("repl: message CRC mismatch")
 	}
 	return typ, payload, nil
+}
+
+// readN reads exactly n bytes, growing the buffer chunk by chunk so the
+// allocation never runs more than readChunk ahead of the stream.
+func readN(r *bufio.Reader, n int) ([]byte, error) {
+	if n <= readChunk {
+		b := make([]byte, n)
+		_, err := io.ReadFull(r, b)
+		return b, err
+	}
+	b := make([]byte, 0, readChunk)
+	for len(b) < n {
+		chunk := min(n-len(b), readChunk)
+		off := len(b)
+		b = append(b, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, b[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
 }
 
 // helloPayload renders a standby's handshake. reign is the random run ID of

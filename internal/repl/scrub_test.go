@@ -1,0 +1,95 @@
+package repl
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"bicc/internal/faults"
+)
+
+// TestScrubRingCleanPass proves an undamaged retention ring scrubs clean:
+// every record checked, nothing corrupt, nothing dropped.
+func TestScrubRingCleanPass(t *testing.T) {
+	p := newTestPrimary(t, PrimaryConfig{})
+	for i := 1; i <= 10; i++ {
+		p.Publish(1, []byte(fmt.Sprintf("ring-record-%02d", i)))
+	}
+	rep := p.ScrubRing()
+	if rep.Checked != 10 || rep.Corrupt != 0 || rep.Dropped != 0 {
+		t.Fatalf("clean ring scrub = %+v, want 10 checked, 0 corrupt, 0 dropped", rep)
+	}
+	if rep.Bytes == 0 {
+		t.Fatalf("clean ring scrub verified 0 bytes")
+	}
+}
+
+// TestScrubRingTruncatesThroughDamage corrupts one buffered record and
+// proves the scrub truncates the ring through it — the ring must stay a
+// contiguous suffix of history, so everything at or before the damaged
+// sequence is dropped — and that the next pass is clean again.
+func TestScrubRingTruncatesThroughDamage(t *testing.T) {
+	p := newTestPrimary(t, PrimaryConfig{})
+	for i := 1; i <= 10; i++ {
+		p.Publish(2, []byte(fmt.Sprintf("ring-record-%02d", i)))
+	}
+	// The repl.ring site fires with iter = the record's sequence number, so
+	// iter=4 damages exactly the fourth published record.
+	r := faults.NewRule(faults.KindCorrupt, "repl.ring")
+	r.Iter = 4
+	r.Count = 1
+	faults.Activate(&faults.Plan{Seed: 11, Rules: []*faults.Rule{r}})
+	defer faults.Deactivate()
+
+	rep := p.ScrubRing()
+	if rep.Checked != 10 || rep.Corrupt != 1 {
+		t.Fatalf("scrub of damaged ring = %+v, want 10 checked, 1 corrupt", rep)
+	}
+	if rep.Dropped != 4 {
+		t.Fatalf("dropped %d records, want 4 (sequences 1..4, through the damage)", rep.Dropped)
+	}
+
+	faults.Deactivate()
+	rep = p.ScrubRing()
+	if rep.Checked != 6 || rep.Corrupt != 0 || rep.Dropped != 0 {
+		t.Fatalf("post-truncation scrub = %+v, want 6 checked and clean", rep)
+	}
+}
+
+// TestScrubRingResyncIsTheRepair proves the documented repair path: after a
+// scrub truncates the ring, a follower whose cursor falls behind the new
+// floor is served a full snapshot resync and still converges on the tip.
+func TestScrubRingResyncIsTheRepair(t *testing.T) {
+	state := []StateRecord{{Kind: 1, Payload: []byte("snapshot-state")}}
+	var snapSeq atomic.Uint64
+	p := newTestPrimary(t, PrimaryConfig{
+		Snapshot: func() ([]StateRecord, uint64) { return state, snapSeq.Load() },
+	})
+	for i := 1; i <= 8; i++ {
+		p.Publish(1, []byte(fmt.Sprintf("ring-record-%02d", i)))
+	}
+	snapSeq.Store(p.Seq())
+
+	r := faults.NewRule(faults.KindCorrupt, "repl.ring")
+	r.Iter = 6
+	r.Count = 1
+	faults.Activate(&faults.Plan{Seed: 17, Rules: []*faults.Rule{r}})
+	defer faults.Deactivate()
+	rep := p.ScrubRing()
+	faults.Deactivate()
+	if rep.Corrupt != 1 || rep.Dropped != 6 {
+		t.Fatalf("scrub = %+v, want 1 corrupt, 6 dropped", rep)
+	}
+
+	// A fresh standby's cursor (0) is now behind the ring floor (7): the
+	// primary must serve the snapshot, not a stream continuation.
+	a := &memApplier{}
+	s := newTestStandby(t, p.Addr(), a)
+	waitUntil(t, "standby resync catch-up", func() bool { return s.AppliedSeq() == p.Seq() })
+	if p.Resyncs() == 0 {
+		t.Fatalf("standby caught up without a snapshot resync; ring should not cover cursor 0")
+	}
+	if a.resetCount() == 0 {
+		t.Fatalf("applier never saw the snapshot Reset")
+	}
+}

@@ -1,0 +1,314 @@
+package scrub
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"bicc/internal/faults"
+)
+
+// fakeTier is a scriptable Tier: each artifact has a size, an optional check
+// error, and an optional repair outcome.
+type fakeTier struct {
+	name string
+
+	mu          sync.Mutex
+	artifacts   []string
+	size        map[string]int64
+	checkErr    map[string]error
+	repairable  map[string]bool
+	checked     []string // Check calls in order, across cycles
+	repaired    []string
+	quarantined []string
+}
+
+func newFakeTier(name string, names ...string) *fakeTier {
+	t := &fakeTier{name: name, artifacts: names,
+		size: map[string]int64{}, checkErr: map[string]error{}, repairable: map[string]bool{}}
+	for _, n := range names {
+		t.size[n] = 100
+	}
+	return t
+}
+
+func (t *fakeTier) Name() string { return t.name }
+
+func (t *fakeTier) List() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.artifacts...)
+}
+
+func (t *fakeTier) Check(name string, iter int) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.checked = append(t.checked, name)
+	return t.size[name], t.checkErr[name]
+}
+
+func (t *fakeTier) Repair(name string, cause error) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.repairable[name] {
+		return "", errors.New("no healthy source")
+	}
+	t.repaired = append(t.repaired, name)
+	delete(t.checkErr, name) // healed: next check passes
+	return "fake-source", nil
+}
+
+func (t *fakeTier) Quarantine(name string, cause error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.quarantined = append(t.quarantined, name)
+	// Quarantined artifacts leave the listing, like a file moved aside.
+	kept := t.artifacts[:0]
+	for _, a := range t.artifacts {
+		if a != name {
+			kept = append(kept, a)
+		}
+	}
+	t.artifacts = kept
+	return nil
+}
+
+func (t *fakeTier) checkedNames() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.checked...)
+}
+
+// TestRunCycleClassifies proves one cycle sorts artifacts into clean,
+// repaired, and quarantined, and that the report and lifetime counters
+// agree.
+func TestRunCycleClassifies(t *testing.T) {
+	tier := newFakeTier("fake", "clean", "healable", "doomed")
+	tier.checkErr["healable"] = errors.New("bit rot")
+	tier.checkErr["doomed"] = errors.New("bit rot")
+	tier.repairable["healable"] = true
+
+	s := New(Config{}, tier)
+	rep := s.RunCycle()
+	if rep.Checked != 3 || rep.Corrupt != 2 || rep.Repaired != 1 || rep.Quarantined != 1 {
+		t.Fatalf("report = %+v, want 3 checked / 2 corrupt / 1 repaired / 1 quarantined", rep)
+	}
+	if rep.Bytes != 300 {
+		t.Fatalf("bytes = %d, want 300", rep.Bytes)
+	}
+	if len(rep.Tiers) != 1 || rep.Tiers[0].Tier != "fake" || rep.Tiers[0].Listed != 3 {
+		t.Fatalf("tier report = %+v", rep.Tiers)
+	}
+	if len(rep.Tiers[0].Errors) != 2 {
+		t.Fatalf("tier errors = %v, want the two corrupt artifacts", rep.Tiers[0].Errors)
+	}
+	if got := tier.quarantined; len(got) != 1 || got[0] != "doomed" {
+		t.Fatalf("quarantined %v, want [doomed]", got)
+	}
+	if s.Cycles() != 1 || s.Checked() != 3 || s.Corrupt() != 2 ||
+		s.Repaired() != 1 || s.Quarantined() != 1 || s.BytesScrubbed() != 300 {
+		t.Fatalf("lifetime counters disagree with the report")
+	}
+	if s.LastReport() != rep {
+		t.Fatalf("LastReport did not return the cycle's report")
+	}
+
+	// The healed artifact stays healed; the doomed one is gone from the
+	// listing: the next cycle is entirely clean.
+	rep = s.RunCycle()
+	if rep.Corrupt != 0 || rep.Checked != 2 {
+		t.Fatalf("second cycle = %+v, want 2 checked and clean", rep)
+	}
+}
+
+// TestBudgetTruncatesAndCursorResumes proves a byte budget stops a cycle
+// early (marked Truncated) and the rotating cursor makes consecutive cycles
+// cover the full artifact set anyway.
+func TestBudgetTruncatesAndCursorResumes(t *testing.T) {
+	tier := newFakeTier("fake", "a", "b", "c", "d")
+	// Budget of 200 = two 100-byte artifacts per cycle.
+	s := New(Config{Budget: 200}, tier)
+
+	rep := s.RunCycle()
+	if !rep.Truncated {
+		t.Fatalf("cycle under budget not marked truncated: %+v", rep)
+	}
+	if rep.Checked != 2 {
+		t.Fatalf("first cycle checked %d, want 2", rep.Checked)
+	}
+	rep = s.RunCycle()
+	if rep.Checked != 2 {
+		t.Fatalf("second cycle checked %d, want 2", rep.Checked)
+	}
+	got := tier.checkedNames()
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != 4 {
+		t.Fatalf("checks across two cycles = %v, want each artifact once", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cursor did not resume in order: %v", got)
+		}
+	}
+	// Third cycle wraps back to the front.
+	s.RunCycle()
+	if got := tier.checkedNames(); got[4] != "a" || got[5] != "b" {
+		t.Fatalf("cursor did not wrap: %v", got)
+	}
+}
+
+// TestBudgetSpansTiers proves the budget is per cycle, not per tier: a
+// first tier that exhausts it starves later tiers only until the cursors
+// bring them around.
+func TestBudgetSpansTiers(t *testing.T) {
+	one := newFakeTier("one", "a", "b")
+	two := newFakeTier("two", "x")
+	s := New(Config{Budget: 100}, one, two)
+	rep := s.RunCycle()
+	if !rep.Truncated || rep.Checked != 1 {
+		t.Fatalf("first cycle = %+v, want 1 checked, truncated", rep)
+	}
+	if len(rep.Tiers) != 2 || rep.Tiers[1].Checked != 0 {
+		t.Fatalf("tier two was checked despite an exhausted budget: %+v", rep.Tiers)
+	}
+}
+
+// TestStartStopLifecycle proves the background loop runs cycles on its
+// cadence and Stop drains: no cycle is in flight once it returns.
+func TestStartStopLifecycle(t *testing.T) {
+	tier := newFakeTier("fake", "a")
+	s := New(Config{Interval: 2 * time.Millisecond}, tier)
+	s.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Cycles() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Cycles() < 3 {
+		t.Fatalf("background loop ran %d cycles, want >= 3", s.Cycles())
+	}
+	s.Stop()
+	n := s.Cycles()
+	time.Sleep(10 * time.Millisecond)
+	if s.Cycles() != n {
+		t.Fatalf("cycles advanced after Stop")
+	}
+	s.Stop() // idempotent
+}
+
+// TestStopBeforeStart proves Stop on a never-started scrubber returns
+// immediately instead of blocking on the loop's done channel.
+func TestStopBeforeStart(t *testing.T) {
+	s := New(Config{Interval: time.Hour}, newFakeTier("fake", "a"))
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Stop blocked on a never-started scrubber")
+	}
+}
+
+// TestStartWithoutInterval proves a manual-only scrubber (Interval <= 0)
+// starts and stops cleanly with no background loop.
+func TestStartWithoutInterval(t *testing.T) {
+	s := New(Config{}, newFakeTier("fake", "a"))
+	s.Start()
+	s.Stop()
+	if s.Cycles() != 0 {
+		t.Fatalf("manual-only scrubber ran %d background cycles", s.Cycles())
+	}
+}
+
+// TestReadFileInjection proves ReadFile is a faithful read normally and the
+// scrub.read site's deterministic bit-flip changes the image under an
+// active corrupt plan.
+func TestReadFileInjection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact")
+	want := []byte("sixteen bytes!!!")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("clean read altered the image")
+	}
+
+	r := faults.NewRule(faults.KindCorrupt, "scrub.read")
+	r.Count = 1
+	faults.Activate(&faults.Plan{Seed: 5, Rules: []*faults.Rule{r}})
+	defer faults.Deactivate()
+	got, err = ReadFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("injected read differs in %d bytes, want exactly 1", diff)
+	}
+
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatalf("ReadFile of a missing artifact returned no error")
+	}
+}
+
+// TestRunCycleSerialized proves overlapping RunCycle calls do not interleave
+// within a tier: each cycle's checks are a contiguous block.
+func TestRunCycleSerialized(t *testing.T) {
+	tier := newFakeTier("fake", "a", "b", "c")
+	s := New(Config{}, tier)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.RunCycle()
+		}()
+	}
+	wg.Wait()
+	got := tier.checkedNames()
+	if len(got) != 12 {
+		t.Fatalf("4 cycles checked %d artifacts, want 12", len(got))
+	}
+	// With a rotating cursor each serialized cycle is a rotation of a/b/c;
+	// any interleaving would repeat a name within a window of 3.
+	for i := 0; i+3 <= len(got); i += 3 {
+		window := map[string]bool{}
+		for _, n := range got[i : i+3] {
+			window[n] = true
+		}
+		if len(window) != 3 {
+			t.Fatalf("cycle window %v repeats an artifact: cycles interleaved (%v)",
+				got[i:i+3], got)
+		}
+	}
+	if s.Cycles() != 4 {
+		t.Fatalf("Cycles() = %d, want 4", s.Cycles())
+	}
+}
+
+// TestListedVsCheckedAccounting pins the Listed/Checked split: vanished
+// artifacts ((0, nil) from Check) still count as checked but contribute no
+// bytes.
+func TestListedVsCheckedAccounting(t *testing.T) {
+	tier := newFakeTier("fake", "here", "gone")
+	tier.size["gone"] = 0 // vanished between List and Check
+	s := New(Config{}, tier)
+	rep := s.RunCycle()
+	if rep.Tiers[0].Listed != 2 || rep.Checked != 2 || rep.Bytes != 100 {
+		t.Fatalf("report = %+v, want listed 2, checked 2, bytes 100", rep)
+	}
+	if rep.Corrupt != 0 {
+		t.Fatalf("a vanished artifact was classified corrupt: %+v", rep)
+	}
+}

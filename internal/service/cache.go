@@ -270,6 +270,28 @@ func (c *ResultCache) promoteLocked(key resultKey) (*queryResult, bool) {
 	return res, true
 }
 
+// Respill rewrites key's spill record from a completed entry still resident
+// in memory, reporting whether one was available. The scrubber's repair
+// ladder starts here: promotion leaves the disk record in place, so a
+// bit-rotted spill file often has a pristine in-memory twin — re-demoting
+// it is free compared to recomputing.
+func (c *ResultCache) Respill(key resultKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.done || e.res == nil || e.res.edgeComp == nil || e.res.Degraded || c.spill == nil {
+		return false
+	}
+	view, err := json.Marshal(e.res)
+	if err != nil {
+		return false
+	}
+	return c.spill.Put(durable.ResultRecord{
+		FP: key.spillFP(), Algorithm: key.algo.String(), Procs: key.procs,
+		EdgeComponent: e.res.edgeComp, View: view,
+	}) == nil
+}
+
 // DropGraph invalidates every result computed for a graph id, across all
 // generations, algorithms, and proc counts — in memory and in the spill
 // tier. Nothing is demoted to disk on the way out: the graph changed, so

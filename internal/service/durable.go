@@ -61,6 +61,7 @@ type RecoveryReport struct {
 type durability struct {
 	store *durable.Store
 	spill *durable.Spill
+	dir   string // the data directory (quarantine lives under it)
 
 	recoveredGraphs int64
 	recoverySeconds float64
@@ -80,7 +81,7 @@ func (s *Server) EnableDurability(cfg DurabilityConfig) (*RecoveryReport, error)
 		return nil, fmt.Errorf("service: durability already enabled")
 	}
 	start := time.Now()
-	d := &durability{}
+	d := &durability{dir: cfg.Dir}
 
 	fsync := s.metrics.Histogram("bicc_wal_fsync_seconds",
 		"Latency of WAL fsync calls.")
@@ -217,6 +218,8 @@ func (d *durability) register(s *Server) {
 	reg.GaugeFunc("bicc_recovery_seconds",
 		"Wall time of crash recovery at boot.",
 		func() float64 { return d.recoverySeconds })
+	reg.CounterVec("bicc_recovery_verify_failures_total",
+		"Spilled results that failed boot-time re-verification and were dropped.").Func(d.verifyFailures.Load)
 	reg.GaugeFunc("bicc_spill_bytes",
 		"Disk bytes held by spilled results.",
 		func() float64 { return float64(sp.Bytes()) })

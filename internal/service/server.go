@@ -162,6 +162,9 @@ type Server struct {
 	// repls is the replication state when EnableReplication has been
 	// called, nil otherwise.
 	repls atomic.Pointer[replState]
+	// scrubs is the self-healing scrubber when EnableScrub has been called,
+	// nil otherwise.
+	scrubs atomic.Pointer[scrubState]
 	// incr is the incremental-mutation subsystem: per-graph maintained
 	// decompositions fed by POST /v1/graphs/{fp}/edges. Always on — an
 	// unmutated server pays one nil-map lookup per query.
@@ -256,6 +259,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/vertex/{v}/articulation", s.handleVertexArticulation)
 	mux.HandleFunc("POST /v1/admin/promote", s.handlePromote)
 	mux.HandleFunc("POST /v1/admin/follow", s.handleFollow)
+	mux.HandleFunc("POST /v1/admin/scrub", s.handleScrub)
 	return PanicRecovery(s.drainGate(mux), func() { s.stats.HandlerPanics.Add(1) })
 }
 
@@ -658,11 +662,63 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := bccResponse{queryResult: *res, Graph: req.Graph, Cached: outcome == OutcomeHit}
+	if err := s.fillIncludes(&resp.queryResult, g, include); err != nil {
+		writeError(w, http.StatusInternalServerError, "deriving include views: %v", err)
+		return
+	}
 	if q := r.URL.Query().Get("trace"); q != "1" && q != "true" {
 		// The copy above leaves the cached entry's trace intact.
 		resp.Trace = nil
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// fillIncludes completes a response copy with any include view the cached
+// entry does not carry. The result cache is keyed by (graph, generation,
+// algorithm, procs) — not by the include set — so a hit may have been
+// created by a query that asked for fewer views, or by a scrub repair,
+// which asks for none. Deriving the missing views from the persisted
+// labeling keeps answers independent of which query populated the cache.
+// Only the copy is written; the shared entry stays untouched.
+func (s *Server) fillIncludes(qr *queryResult, g *bicc.Graph, include map[string]bool) error {
+	missing := (include["articulation"] && qr.ArticulationPoints == nil) ||
+		(include["bridges"] && qr.Bridges == nil) ||
+		(include["components"] && qr.Components == nil) ||
+		(include["blockcut"] && qr.BlockCut == nil)
+	if !missing {
+		return nil
+	}
+	if qr.edgeComp == nil {
+		return fmt.Errorf("result carries no edge labeling")
+	}
+	algo, err := bicc.ParseAlgorithm(qr.Algorithm)
+	if err != nil {
+		return err
+	}
+	res, err := bicc.ReconstructResult(g, algo, qr.edgeComp)
+	if err != nil {
+		return err
+	}
+	if include["articulation"] && qr.ArticulationPoints == nil {
+		qr.ArticulationPoints = res.ArticulationPoints()
+	}
+	if include["bridges"] && qr.Bridges == nil {
+		qr.Bridges = res.Bridges()
+	}
+	if include["components"] && qr.Components == nil {
+		qr.Components = res.Components()
+	}
+	if include["blockcut"] && qr.BlockCut == nil {
+		t := res.BlockCutTree()
+		qr.BlockCut = &blockCutJSON{
+			NumBlocks:   t.NumBlocks(),
+			NumNodes:    t.NumNodes(),
+			NumEdges:    t.NumTreeEdges(),
+			CutVertices: t.CutVertices(),
+			LeafBlocks:  t.LeafBlocks(),
+		}
+	}
+	return nil
 }
 
 // runEngine admits and runs one engine computation under the circuit
@@ -835,13 +891,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"workers":  s.admission.Workers(),
 		"breakers": breakers,
 	}
+	// Integrity failures are the one thing that flips readiness to 503:
+	// results that failed boot-time re-verification, or artifacts the
+	// scrubber had to quarantine, mean local durable state cannot be fully
+	// trusted and an operator (or the router) should look at this node.
+	code := http.StatusOK
+	if d := s.dur.Load(); d != nil {
+		if n := d.verifyFailures.Load(); n > 0 {
+			status, code = "unhealthy", http.StatusServiceUnavailable
+			body["verify_failures"] = n
+		}
+	}
+	if sc := s.scrubs.Load(); sc != nil {
+		if q := sc.quarantineList(); len(q) > 0 {
+			status, code = "unhealthy", http.StatusServiceUnavailable
+			body["quarantined"] = q
+		}
+	}
+	body["status"] = status
 	switch s.replRole() {
 	case rolePrimary:
 		body["role"] = "primary"
 	case roleStandby:
 		body["role"] = "standby"
 	}
-	writeJSON(w, http.StatusOK, body)
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -894,6 +968,9 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	if rs := s.repls.Load(); rs != nil {
 		snap.Repl = rs.snapshot()
+	}
+	if sc := s.scrubs.Load(); sc != nil {
+		snap.Scrub = sc.snapshot()
 	}
 	return snap
 }

@@ -98,6 +98,8 @@ type StatsSnapshot struct {
 	// Repl is present only when EnableReplication has been called; a
 	// standalone bccd's /statsz is unchanged.
 	Repl *ReplSnapshot `json:"repl,omitempty"`
+	// Scrub is present only when EnableScrub has been called.
+	Scrub *ScrubSnapshot `json:"scrub,omitempty"`
 }
 
 // BreakerSnapshot is one algorithm's circuit-breaker state on /statsz.
