@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-fastbcc test-obs lint-obs fuzz-durable fuzz-shard test-shard test-incr fuzz-incr race-service test-crash test-repl test-failover test-scrub fuzz-repl fmt vet clean
+.PHONY: all build test race cover bench bench-json ci fig3 fig4 ablations verify test-faults test-fastbcc test-obs lint-obs fuzz-durable fuzz-shard test-shard test-incr fuzz-incr race-service test-crash test-repl test-failover test-scrub fuzz-repl test-plan fuzz-plan fmt vet clean
 
 all: build test
 
@@ -46,10 +46,14 @@ test-faults:
 # Machine-readable medians for the five algorithms (CI trend tracking).
 # BENCH_1.json is the single-p snapshot; BENCH_2.json sweeps every parallel
 # engine (fast-bcc included) at p=1 and p=4 for the TV-vs-FAST-BCC
-# comparison.
+# comparison. BENCH_3.json is the planner sweep: p ∈ {1,2,4,8} across all
+# three densities, with -plan adding auto-static vs auto-plan rows derived
+# from the measured medians (which engine each auto policy would have
+# dispatched, and what it actually cost).
 bench-json:
 	$(GO) run ./cmd/bccjson -scale $(SCALE) -reps $(REPS) -o BENCH_1.json
 	$(GO) run ./cmd/bccjson -scale $(SCALE) -reps $(REPS) -sweep 1,4 -o BENCH_2.json
+	$(GO) run ./cmd/bccjson -scale $(SCALE) -reps $(REPS) -sweep 1,2,4,8 -all -plan -o BENCH_3.json
 
 # FAST-BCC suite: the skeleton engine's differential families (byte-equality
 # vs the sequential oracle), its fault-containment and phase tests, the
@@ -148,6 +152,21 @@ test-scrub:
 	$(GO) test -race -run 'Oracle|ReconstructRejects' . -count=1
 	$(GO) test ./cmd/bccd -run 'BitRot' -count=1 -v
 
+# Adaptive-planner suite. test-plan runs (race-enabled) the plan package's
+# golden decision table and breaker-filter property tests, the library's
+# planner-wiring tests, and the service tests: the fast-bcc-at-p=1
+# acceptance check, ?explain=1 echo-vs-dispatch, open-breaker avoidance,
+# the planner-on vs planner-off differential harness (BCC + incr mutations
+# + shard endpoints, byte-equal answers), and the /statsz plan golden.
+# fuzz-plan hammers feature extraction with arbitrary graph shapes: no
+# panics, every bucket class in range.
+test-plan:
+	$(GO) test -race ./internal/plan -count=1
+	$(GO) test -race -run 'Plan' . ./internal/service -count=1
+
+fuzz-plan:
+	$(GO) test ./internal/plan -run FuzzNothing -fuzz FuzzFeatures -fuzztime $(FUZZTIME)
+
 fuzz-repl:
 	$(GO) test ./internal/repl -run FuzzNothing -fuzz FuzzReadMsg$$ -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/repl -run FuzzNothing -fuzz FuzzReadMsgAllocationBound -fuzztime $(FUZZTIME)
@@ -174,8 +193,9 @@ lint-obs:
 # (mutation differential harness + delta fuzzing), the replication suite
 # (standby differential harness + multi-process node-kill failover), the
 # self-healing suite (scrubber + bit-rot chaos harness + repl frame
-# fuzzing), and a benchmark snapshot.
-ci: vet lint-obs race test-fastbcc test-faults test-obs fuzz-durable test-shard fuzz-shard test-incr fuzz-incr race-service test-crash test-repl test-failover test-scrub fuzz-repl bench-json
+# fuzzing), the adaptive-planner suite (golden decision table + differential
+# harness + feature fuzzing), and a benchmark snapshot.
+ci: vet lint-obs race test-fastbcc test-faults test-obs fuzz-durable test-shard fuzz-shard test-incr fuzz-incr race-service test-crash test-repl test-failover test-scrub fuzz-repl test-plan fuzz-plan bench-json
 
 fmt:
 	gofmt -l -w .

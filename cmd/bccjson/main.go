@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bccjson [-scale 0.1] [-reps 3] [-p procs] [-sweep 1,4] [-all]
+//	bccjson [-scale 0.1] [-reps 3] [-p procs] [-sweep 1,4] [-all] [-plan]
 //	        [-o BENCH_1.json] [-addr URL]
 //
 // By default only the first paper instance (m = 4n) is timed; -all sweeps
@@ -12,6 +12,11 @@
 // with a comma-separated list: every parallel algorithm is measured at
 // every count (the sequential baseline always runs once at p=1), which is
 // how `make bench-json` produces the BENCH_2.json p=1 vs p=4 comparison.
+// -plan appends synthetic "auto-static" and "auto-plan" rows per
+// (instance, procs): the engine each auto-routing policy (the paper's
+// static §4 rule vs the history-free adaptive planner) would dispatch,
+// priced at the medians already measured — which is how `make bench-json`
+// produces BENCH_3.json.
 //
 // With -addr, the measurements run through a live bccd instead of
 // in-process: each instance is uploaded once (content-addressed, so reruns
@@ -41,6 +46,7 @@ import (
 	"bicc"
 	"bicc/internal/bench"
 	"bicc/internal/httpretry"
+	"bicc/internal/plan"
 )
 
 type benchRecord struct {
@@ -51,6 +57,9 @@ type benchRecord struct {
 	Procs     int     `json:"procs"`
 	MedianNs  int64   `json:"median_ns_op"`
 	Speedup   float64 `json:"speedup_vs_sequential"`
+	// Chosen is set only on the synthetic auto-plan/auto-static rows added
+	// by -plan: the concrete engine the policy mapped the auto query to.
+	Chosen string `json:"chosen,omitempty"`
 }
 
 type benchReport struct {
@@ -70,6 +79,8 @@ func main() {
 	all := flag.Bool("all", false, "time every paper instance, not just m=4n")
 	out := flag.String("o", "BENCH_1.json", "output file (- for stdout)")
 	addr := flag.String("addr", "", "measure through a running bccd at this base URL instead of in-process")
+	withPlan := flag.Bool("plan", false,
+		"derive auto-static and auto-plan rows per (instance, procs) from the measured medians (no extra engine runs)")
 	flag.Parse()
 
 	p := *procs
@@ -96,6 +107,9 @@ func main() {
 		serviceBench(&report, *addr, instances, procsList, *reps)
 	} else {
 		localBench(&report, instances, procsList, *reps)
+	}
+	if *withPlan {
+		appendPlanRows(&report, instances, procsList)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -230,6 +244,70 @@ func serviceBench(report *benchReport, addr string, instances []bench.Instance, 
 		for _, algo := range algos[1:] {
 			for _, ap := range procsList {
 				measure(algo, ap)
+			}
+		}
+	}
+}
+
+// appendPlanRows adds two synthetic algorithms to the report, "auto-static"
+// and "auto-plan": what an algorithm:"auto" query would cost under the
+// static §4 rule versus the history-free (frozen) adaptive planner, at each
+// swept worker count. Both are pure lookups into the medians already
+// measured — the engines are not re-run — so the rows answer "which engine
+// would each policy have dispatched, and what did that engine actually
+// cost here".
+func appendPlanRows(report *benchReport, instances []bench.Instance, procsList []int) {
+	type key struct {
+		inst, algo string
+		procs      int
+	}
+	measured := map[key]benchRecord{}
+	for _, r := range report.Benchmarks {
+		measured[key{r.Instance, r.Algorithm, r.Procs}] = r
+	}
+	// The sequential baseline is measured once at p=1 and ignores the
+	// worker count, so any policy that picks it reuses that row.
+	lookup := func(inst, engine string, p int) (benchRecord, bool) {
+		if r, ok := measured[key{inst, engine, p}]; ok {
+			return r, true
+		}
+		if engine == "sequential" {
+			r, ok := measured[key{inst, engine, 1}]
+			return r, ok
+		}
+		return benchRecord{}, false
+	}
+	for _, in := range instances {
+		el := in.Build()
+		g, err := bicc.NewGraph(int(el.N), el.Edges)
+		if err != nil {
+			log.Fatalf("%s: %v", in.Name, err)
+		}
+		for _, p := range procsList {
+			pl := plan.New(plan.Config{Frozen: true, MaxProcs: p})
+			d := pl.Decide(pl.FeaturesOf(el), p, false)
+			for _, row := range []struct{ name, engine string }{
+				{"auto-static", bicc.ResolveAlgorithm(g, bicc.Auto, p).String()},
+				{"auto-plan", d.Engine},
+			} {
+				r, ok := lookup(in.Name, row.engine, p)
+				if !ok {
+					log.Printf("%-8s %-12s p=%-2d -> %s: no measurement, skipping",
+						in.Name, row.name, p, row.engine)
+					continue
+				}
+				report.Benchmarks = append(report.Benchmarks, benchRecord{
+					Instance:  in.Name,
+					N:         in.N,
+					M:         in.M,
+					Algorithm: row.name,
+					Procs:     p,
+					MedianNs:  r.MedianNs,
+					Speedup:   r.Speedup,
+					Chosen:    row.engine,
+				})
+				log.Printf("%-8s %-12s p=%-2d -> %-10s median %v",
+					in.Name, row.name, p, row.engine, time.Duration(r.MedianNs).Round(time.Microsecond))
 			}
 		}
 	}

@@ -1,0 +1,257 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"bicc/internal/graph"
+	"bicc/internal/obs"
+)
+
+// feat builds a feature vector the way Extract would, from raw measurements.
+func feat(n, m int, depth int32, skew float64) Features {
+	f := Features{N: n, M: m, Depth: depth, Skew: skew}
+	if n > 0 {
+		f.Density = float64(m) / float64(n)
+	}
+	f.SizeClass = sizeClass(n + m)
+	f.DensityClass = densityClass(f.Density)
+	f.DiamClass = diamClass(depth, n)
+	f.SkewClass = skewClass(skew)
+	return f
+}
+
+// TestDecisionGolden pins the frozen planner's choices over a synthetic
+// feature grid: the paper-rule region at high parallelism, the FAST-BCC
+// promotion region at low parallelism, and the tiny-graph sequential region.
+// These are behavioral contracts — a prior retune that moves one must update
+// this table deliberately.
+func TestDecisionGolden(t *testing.T) {
+	p := New(Config{MaxProcs: 8, Frozen: true, Registry: obs.NewRegistry()})
+	cases := []struct {
+		name       string
+		f          Features
+		pinned     int
+		wantEngine string
+		wantProcs  int
+	}{
+		// Tiny graphs: worker startup dominates, DFS baseline wins outright.
+		{"tiny-sparse", feat(100, 150, 8, 2), 0, Sequential, 1},
+		{"tiny-dense", feat(1000, 4000, 4, 3), 0, Sequential, 1},
+		// FAST-BCC promotion: large dense graph pinned to p=1 — the
+		// acceptance-criterion cell (m = 4n, no history, planner on).
+		{"promo-dense-p1", feat(100_000, 400_000, 6, 3), 1, FastBCC, 1},
+		// Low parallelism, both densities: the skeleton engine still wins.
+		{"promo-dense-p2", feat(100_000, 400_000, 6, 3), 2, FastBCC, 2},
+		{"promo-sparse-p1", feat(100_000, 150_000, 9, 2), 1, FastBCC, 1},
+		// Paper §4 region at full parallelism: TV-filter on dense inputs,
+		// TV-opt on sparse ones.
+		{"paper-dense-p8", feat(100_000, 400_000, 6, 3), 8, TVFilter, 8},
+		{"paper-sparse-p8", feat(100_000, 150_000, 9, 2), 8, TVOpt, 8},
+		// High-diameter inputs punish the BFS-based engines: chains go to
+		// sequential at p=1 and TV-opt's traversal when parallel.
+		{"chain-p1", feat(100_000, 100_000, 50_000, 1.2), 1, Sequential, 1},
+		{"chain-p8", feat(100_000, 100_000, 50_000, 1.2), 8, TVOpt, 8},
+		// Unpinned: the planner picks procs too. Large dense graph on an
+		// 8-way cap should take the full-width TV-filter plan.
+		{"free-dense", feat(100_000, 400_000, 6, 3), 0, TVFilter, 8},
+		{"free-tiny", feat(100, 150, 8, 2), 0, Sequential, 1},
+	}
+	for _, tc := range cases {
+		d := p.Decide(tc.f, tc.pinned, true)
+		if d.Engine != tc.wantEngine || d.Procs != tc.wantProcs {
+			t.Errorf("%s: got (%s, p=%d), want (%s, p=%d)\ncandidates: %+v",
+				tc.name, d.Engine, d.Procs, tc.wantEngine, tc.wantProcs, d.Candidates)
+		}
+		if d.Explored {
+			t.Errorf("%s: frozen planner explored", tc.name)
+		}
+	}
+}
+
+// TestFrozenDeterministic asserts a frozen planner is a pure function of its
+// inputs: identical feature vectors always produce identical decisions.
+func TestFrozenDeterministic(t *testing.T) {
+	p := New(Config{MaxProcs: 8, Frozen: true, Registry: obs.NewRegistry()})
+	f := feat(50_000, 200_000, 7, 3)
+	first := p.Decide(f, 0, false)
+	for i := 0; i < 100; i++ {
+		if d := p.Decide(f, 0, false); d.Engine != first.Engine || d.Procs != first.Procs || d.Explored {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, d, first)
+		}
+	}
+}
+
+// TestBreakerFilterProperty is the safety-net property: across a sweep of
+// feature vectors and every subset of open breakers, the planner never
+// returns an engine its Allow filter rejected — except the sequential
+// fallback when the filter rejects everything.
+func TestBreakerFilterProperty(t *testing.T) {
+	feats := []Features{
+		feat(0, 0, 0, 0),
+		feat(100, 150, 8, 2),
+		feat(100_000, 400_000, 6, 3),
+		feat(100_000, 150_000, 9, 2),
+		feat(100_000, 100_000, 50_000, 1.2),
+		feat(1_000_000, 8_000_000, 5, 20),
+	}
+	for mask := 0; mask < 1<<len(EngineOrder); mask++ {
+		open := map[string]bool{}
+		for i, eng := range EngineOrder {
+			if mask&(1<<i) != 0 {
+				open[eng] = true
+			}
+		}
+		p := New(Config{
+			MaxProcs: 8,
+			Registry: obs.NewRegistry(),
+			Allow:    func(eng string) bool { return !open[eng] },
+		})
+		for _, f := range feats {
+			for _, pinned := range []int{0, 1, 4} {
+				d := p.Decide(f, pinned, false)
+				if !open[d.Engine] {
+					continue
+				}
+				// A rejected engine may only appear as the all-filtered
+				// sequential fallback.
+				if d.Engine != Sequential || mask != 1<<len(EngineOrder)-1 {
+					t.Fatalf("mask %05b: planner chose open-breaker engine %s (pinned=%d, f=%+v)",
+						mask, d.Engine, pinned, f)
+				}
+			}
+		}
+	}
+}
+
+// TestObserveShiftsChoice feeds the online model latencies that contradict
+// the prior and checks the decision flips: the adaptive planner must be able
+// to learn its prior wrong.
+func TestObserveShiftsChoice(t *testing.T) {
+	p := New(Config{MaxProcs: 1, Registry: obs.NewRegistry(), ExploreEvery: -1})
+	f := feat(100_000, 400_000, 6, 3)
+	if d := p.Decide(f, 1, false); d.Engine != FastBCC {
+		t.Fatalf("before observations: got %s, want %s", d.Engine, FastBCC)
+	}
+	// Report fast-bcc as catastrophically slow and sequential as fast; a
+	// handful of samples should outweigh the prior's pseudo-count.
+	for i := 0; i < 32; i++ {
+		p.Observe(f, FastBCC, 1, 2*time.Second)
+		p.Observe(f, Sequential, 1, 5*time.Millisecond)
+	}
+	if d := p.Decide(f, 1, true); d.Engine != Sequential {
+		t.Fatalf("after observations: got %s, want %s\ncandidates: %+v", d.Engine, Sequential, d.Candidates)
+	}
+}
+
+// TestExplorationCadence checks the deterministic exploration counter: with
+// ExploreEvery=4 exactly every 4th decision in a bucket is an exploration,
+// and it dispatches the runner-up rather than the winner.
+func TestExplorationCadence(t *testing.T) {
+	p := New(Config{MaxProcs: 1, Registry: obs.NewRegistry(), ExploreEvery: 4})
+	f := feat(100_000, 400_000, 6, 3)
+	var explored, total int
+	winner := map[bool]map[string]int{false: {}, true: {}}
+	for i := 0; i < 40; i++ {
+		d := p.Decide(f, 1, false)
+		total++
+		if d.Explored {
+			explored++
+		}
+		winner[d.Explored][d.Engine]++
+	}
+	if explored != total/4 {
+		t.Fatalf("explored %d of %d decisions, want %d", explored, total, total/4)
+	}
+	if len(winner[false]) != 1 || winner[false][FastBCC] == 0 {
+		t.Fatalf("non-explored decisions not constant: %v", winner[false])
+	}
+	if winner[true][FastBCC] != 0 {
+		t.Fatalf("explorations dispatched the winner: %v", winner[true])
+	}
+}
+
+// TestHistorySeeding checks the coarse per-engine history only matters for
+// cold buckets and is capped: a huge history sample count must not swamp the
+// prior entirely.
+func TestHistorySeeding(t *testing.T) {
+	hist := map[string]time.Duration{Sequential: 4 * time.Millisecond, FastBCC: 900 * time.Millisecond}
+	p := New(Config{
+		MaxProcs:     1,
+		Registry:     obs.NewRegistry(),
+		ExploreEvery: -1,
+		History: func(eng string) (time.Duration, int64) {
+			d, ok := hist[eng]
+			if !ok {
+				return 0, 0
+			}
+			return d, 1_000_000
+		},
+	})
+	f := feat(100_000, 400_000, 6, 3)
+	d := p.Decide(f, 1, true)
+	if d.Engine != Sequential {
+		t.Fatalf("history says sequential is 200x faster, planner chose %s\ncandidates: %+v", d.Engine, d.Candidates)
+	}
+}
+
+// TestAllFilteredFallsBackToSequential pins the path-of-last-resort contract
+// and its metric.
+func TestAllFilteredFallsBackToSequential(t *testing.T) {
+	p := New(Config{MaxProcs: 8, Registry: obs.NewRegistry(), Allow: func(string) bool { return false }})
+	d := p.Decide(feat(100_000, 400_000, 6, 3), 0, false)
+	if d.Engine != Sequential || d.Procs != 1 {
+		t.Fatalf("got (%s, p=%d), want (%s, p=1)", d.Engine, d.Procs, Sequential)
+	}
+	if s := p.Snapshot(); s.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", s.Fallbacks)
+	}
+}
+
+// TestFeaturesOfCaches checks identity-keyed caching: the same *EdgeList is
+// extracted once, a different graph is extracted separately.
+func TestFeaturesOfCaches(t *testing.T) {
+	p := New(Config{MaxProcs: 2, Registry: obs.NewRegistry()})
+	g := &graph.EdgeList{N: 5, Edges: []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}}}
+	f1 := p.FeaturesOf(g)
+	f2 := p.FeaturesOf(g)
+	if f1 != f2 {
+		t.Fatalf("cache returned different vectors: %+v vs %+v", f1, f2)
+	}
+	if got := p.Snapshot(); got.Observations != 0 {
+		t.Fatalf("unexpected observations: %+v", got)
+	}
+	if n := extractionCount(p); n != 1 {
+		t.Fatalf("extractions = %d, want 1", n)
+	}
+	h := &graph.EdgeList{N: 3, Edges: []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}}
+	_ = p.FeaturesOf(h)
+	if n := extractionCount(p); n != 2 {
+		t.Fatalf("extractions after second graph = %d, want 2", n)
+	}
+}
+
+func extractionCount(p *Planner) int64 { return p.extractions.Load() }
+
+// TestSnapshotCounts sanity-checks the /statsz section numbers.
+func TestSnapshotCounts(t *testing.T) {
+	p := New(Config{MaxProcs: 4, Registry: obs.NewRegistry(), ExploreEvery: -1})
+	f := feat(100_000, 400_000, 6, 3)
+	for i := 0; i < 5; i++ {
+		d := p.Decide(f, 0, false)
+		p.Observe(f, d.Engine, d.Procs, 10*time.Millisecond)
+	}
+	s := p.Snapshot()
+	if s.Mode != "adaptive" || s.Decisions != 5 || s.Observations != 5 || s.BucketsSeen != 0 {
+		// BucketsSeen counts exploration counters; ExploreEvery<0 never
+		// increments them.
+		t.Fatalf("snapshot: %+v", s)
+	}
+	var n int64
+	for _, v := range s.ByEngine {
+		n += v
+	}
+	if n != 5 {
+		t.Fatalf("by_engine sums to %d, want 5: %+v", n, s.ByEngine)
+	}
+}

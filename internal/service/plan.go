@@ -1,0 +1,107 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"bicc"
+	"bicc/internal/par"
+	"bicc/internal/plan"
+)
+
+// Plan modes accepted by Config.PlanMode and the bccd -plan flag.
+const (
+	// PlanOff keeps the static §4 rule for Auto queries (the default, and
+	// the pre-planner behavior byte for byte).
+	PlanOff = "off"
+	// PlanAdaptive plans engine and parallelism per request from graph
+	// features, blending the calibrated prior with observed latencies, and
+	// explores the runner-up candidate on a deterministic cadence.
+	PlanAdaptive = "adaptive"
+	// PlanFrozen plans from the prior alone — deterministic decisions for
+	// differential harnesses and golden tests.
+	PlanFrozen = "frozen"
+)
+
+// ParsePlanMode validates a -plan flag value, normalizing "" to off.
+func ParsePlanMode(s string) (string, error) {
+	switch s {
+	case "", PlanOff:
+		return PlanOff, nil
+	case PlanAdaptive, PlanFrozen:
+		return s, nil
+	}
+	return "", fmt.Errorf("unknown plan mode %q (valid: %s, %s, %s)", s, PlanOff, PlanAdaptive, PlanFrozen)
+}
+
+// planState is the server's adaptive-planner subsystem, nil when PlanMode is
+// off — the same zero-cost-off discipline as durability and sharding.
+type planState struct {
+	planner *plan.Planner
+	mode    string
+}
+
+// newPlanState builds the per-server planner: candidates are filtered by the
+// PR 2 circuit breakers (an open breaker removes its engine from the slate —
+// the non-mutating State check, so planning never consumes half-open probe
+// slots), and cold feature buckets are seeded from the per-algorithm request
+// histograms the server already records.
+func (s *Server) newPlanState(mode string) *planState {
+	cfg := plan.Config{
+		Frozen:   mode == PlanFrozen,
+		Registry: s.metrics,
+		Allow: func(engine string) bool {
+			b := s.breakers[engine]
+			return b == nil || b.State() != BreakerOpen
+		},
+		History: func(engine string) (time.Duration, int64) {
+			h := s.stats.perAlgorithm[engine]
+			if h == nil {
+				return 0, 0
+			}
+			hs := h.Snapshot()
+			return time.Duration(hs.MeanN), hs.Count
+		},
+	}
+	return &planState{planner: plan.New(cfg), mode: mode}
+}
+
+// planExplain is the ?explain=1 response section: the planner's inputs and
+// the decision, echoed so callers can audit why their query ran where it
+// did. Engine and Procs always carry what was dispatched, whatever the mode.
+type planExplain struct {
+	Mode     string         `json:"mode"`
+	Engine   string         `json:"engine"`
+	Procs    int            `json:"procs"`
+	Features *plan.Features `json:"features,omitempty"`
+	Decision *plan.Decision `json:"decision,omitempty"`
+}
+
+// planDecide resolves an Auto request through the planner: procs > 0 pins
+// the parallelism degree, 0 lets the planner choose it. explain asks for the
+// scored candidate slate.
+func (ps *planState) planDecide(g *bicc.Graph, procs int, explain bool) (bicc.Algorithm, int, plan.Features, plan.Decision) {
+	f := bicc.FeaturesFor(ps.planner, g)
+	d := ps.planner.Decide(f, procs, explain)
+	a, err := bicc.ParseAlgorithm(d.Engine)
+	if err != nil || a == bicc.Auto {
+		// Unreachable with the current engine set; degrade to the static
+		// rule rather than dispatch something unparseable.
+		return bicc.ResolveAlgorithm(g, bicc.Auto, procs), par.Procs(procs), f, d
+	}
+	return a, d.Procs, f, d
+}
+
+// planResolve is planDecide for internal callers that need no explanation:
+// the incremental degrade-to-full path and shard builds, which pass Auto
+// down to runEngine.
+func (ps *planState) planResolve(g *bicc.Graph, procs int) (bicc.Algorithm, int) {
+	a, p, _, _ := ps.planDecide(g, procs, false)
+	return a, p
+}
+
+// planObserve feeds one clean engine run into the online model. Callers must
+// filter out degraded and breaker-routed runs first.
+func (ps *planState) planObserve(g *bicc.Graph, engine string, procs int, elapsed time.Duration) {
+	ps.planner.Observe(bicc.FeaturesFor(ps.planner, g), engine, par.Procs(procs), elapsed)
+}

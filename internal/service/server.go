@@ -92,6 +92,12 @@ type Config struct {
 	// rebuild; <= 0 means incr.DefaultThreshold, >= 1 never degrades on
 	// size.
 	IncrThreshold float64
+	// PlanMode selects how Auto queries resolve: PlanOff ("" or "off", the
+	// default) keeps the static §4 rule, PlanAdaptive plans engine and
+	// parallelism per request from graph features and observed latencies,
+	// PlanFrozen plans from the prior alone (deterministic). See
+	// ParsePlanMode.
+	PlanMode string
 	// Compute runs one BCC query. Nil means bicc.BiconnectedComponentsCtx;
 	// tests substitute instrumented engines.
 	Compute func(ctx context.Context, g *bicc.Graph, opt *bicc.Options) (*bicc.Result, error)
@@ -169,6 +175,9 @@ type Server struct {
 	// decompositions fed by POST /v1/graphs/{fp}/edges. Always on — an
 	// unmutated server pays one nil-map lookup per query.
 	incr *incrState
+	// plans is the adaptive query planner when Config.PlanMode enables it,
+	// nil otherwise; the off path costs one atomic load per Auto query.
+	plans atomic.Pointer[planState]
 }
 
 // New returns a Server with the given configuration.
@@ -186,6 +195,11 @@ func New(cfg Config) *Server {
 	s.incr = newIncrState(s.metrics, cfg.IncrThreshold)
 	for _, a := range []bicc.Algorithm{bicc.Auto, bicc.TVSMP, bicc.TVOpt, bicc.TVFilter, bicc.FastBCC} {
 		s.breakers[a.String()] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	if mode, err := ParsePlanMode(cfg.PlanMode); err == nil && mode != PlanOff {
+		// Planner construction comes after breakers and stats: its candidate
+		// filter and history seed close over both.
+		s.plans.Store(s.newPlanState(mode))
 	}
 	s.registerLiveMetrics()
 	return s
@@ -577,6 +591,8 @@ type bccResponse struct {
 	queryResult
 	Graph  string `json:"graph"`
 	Cached bool   `json:"cached"`
+	// Plan echoes the planner's decision for ?explain=1 requests.
+	Plan *planExplain `json:"plan,omitempty"`
 }
 
 func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
@@ -619,6 +635,26 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.registry.Release(req.Graph)
 
+	// Auto queries resolve to a concrete (engine, procs) pair before the
+	// cache lookup: the planner (when enabled) decides here, exactly once
+	// per request, so the cache key, the dispatched engine, and the explain
+	// echo can never disagree — and planned queries share cache entries
+	// with explicit requests for the same engine.
+	eq := r.URL.Query().Get("explain")
+	explain := eq == "1" || eq == "true"
+	runAlgo, runProcs := algo, procs
+	var planEcho *planExplain
+	if ps := s.plans.Load(); ps != nil && algo == bicc.Auto {
+		a, p, f, d := ps.planDecide(g, procs, explain)
+		runAlgo, runProcs = a, p
+		if explain {
+			planEcho = &planExplain{Mode: ps.mode, Engine: a.String(), Procs: p, Features: &f, Decision: &d}
+		}
+	} else if explain {
+		resolved := bicc.ResolveAlgorithm(g, algo, procs)
+		planEcho = &planExplain{Mode: PlanOff, Engine: resolved.String(), Procs: par.Procs(procs)}
+	}
+
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
@@ -626,15 +662,15 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	key := resultKey{fp: req.Graph, gen: info.Generation, algo: algo, procs: procs}
+	key := resultKey{fp: req.Graph, gen: info.Generation, algo: runAlgo, procs: runProcs}
 	res, err, outcome := s.cache.Do(ctx, key, func(cctx context.Context) (*queryResult, error) {
 		// Mutated graphs carry maintained labels: derive the answer from
 		// them instead of running an engine when they describe exactly the
 		// acquired graph pointer.
-		if qr, ok := s.incrServe(req.Graph, g, algo, procs, include); ok {
+		if qr, ok := s.incrServe(req.Graph, g, runAlgo, runProcs, include); ok {
 			return qr, nil
 		}
-		return s.compute(cctx, g, algo, procs, include)
+		return s.compute(cctx, g, runAlgo, runProcs, include)
 	})
 	switch outcome {
 	case OutcomeHit:
@@ -661,7 +697,7 @@ func (s *Server) handleBCC(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	resp := bccResponse{queryResult: *res, Graph: req.Graph, Cached: outcome == OutcomeHit}
+	resp := bccResponse{queryResult: *res, Graph: req.Graph, Cached: outcome == OutcomeHit, Plan: planEcho}
 	if err := s.fillIncludes(&resp.queryResult, g, include); err != nil {
 		writeError(w, http.StatusInternalServerError, "deriving include views: %v", err)
 		return
@@ -728,6 +764,14 @@ func (s *Server) fillIncludes(qr *queryResult, g *bicc.Graph, include map[string
 // accounting behaviour. routedCause is non-empty when an open breaker
 // redirected the request to the sequential engine.
 func (s *Server) runEngine(ctx context.Context, g *bicc.Graph, algo bicc.Algorithm, procs int) (res *bicc.Result, elapsed time.Duration, routedCause string, err error) {
+	// Auto still arriving here came from an internal caller — the
+	// incremental degrade-to-full path, shard builds — not /v1/bcc, which
+	// resolves before its cache lookup. Plan it the same way.
+	if algo == bicc.Auto {
+		if ps := s.plans.Load(); ps != nil {
+			algo, procs = ps.planResolve(g, procs)
+		}
+	}
 	_, adm := obs.StartSpan(ctx, "admission")
 	release, err := s.admission.Acquire(ctx)
 	adm.End()
@@ -781,6 +825,12 @@ func (s *Server) runEngine(ctx context.Context, g *bicc.Graph, algo bicc.Algorit
 	}
 	if h := s.stats.perAlgorithm[res.Algorithm.String()]; h != nil {
 		h.Observe(elapsed)
+	}
+	// Clean, representative runs feed the planner's online model. Degraded
+	// and breaker-routed runs are excluded: their latency reflects the
+	// failure path, not the engine the planner would be scoring.
+	if ps := s.plans.Load(); ps != nil && routedCause == "" && !res.Degraded {
+		ps.planObserve(g, res.Algorithm.String(), procs, elapsed)
 	}
 	return res, elapsed, routedCause, nil
 }
@@ -971,6 +1021,10 @@ func (s *Server) Snapshot() StatsSnapshot {
 	}
 	if sc := s.scrubs.Load(); sc != nil {
 		snap.Scrub = sc.snapshot()
+	}
+	if ps := s.plans.Load(); ps != nil {
+		psnap := ps.planner.Snapshot()
+		snap.Plan = &psnap
 	}
 	return snap
 }

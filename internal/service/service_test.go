@@ -433,6 +433,11 @@ func TestHealthzAndStatsz(t *testing.T) {
 	if _, ok := snap.Latency["fast-bcc"]; !ok {
 		t.Error("statsz missing latency histogram for fast-bcc after a fast-bcc query")
 	}
+	// With the planner off (the zero-value default), /statsz carries no plan
+	// section — the pre-planner wire shape, byte for byte.
+	if snap.Plan != nil {
+		t.Errorf("statsz has a plan section with the planner off: %+v", snap.Plan)
+	}
 }
 
 func TestBadRequests(t *testing.T) {

@@ -3,6 +3,7 @@ package service
 import (
 	"bicc"
 	"bicc/internal/obs"
+	"bicc/internal/plan"
 )
 
 // Histogram is the service's request-latency histogram, now provided by the
@@ -100,6 +101,9 @@ type StatsSnapshot struct {
 	Repl *ReplSnapshot `json:"repl,omitempty"`
 	// Scrub is present only when EnableScrub has been called.
 	Scrub *ScrubSnapshot `json:"scrub,omitempty"`
+	// Plan is present only when Config.PlanMode enables the adaptive
+	// planner; a statically-routed bccd's /statsz is unchanged.
+	Plan *plan.Snapshot `json:"plan,omitempty"`
 }
 
 // BreakerSnapshot is one algorithm's circuit-breaker state on /statsz.

@@ -1,0 +1,112 @@
+package bicc
+
+import (
+	"testing"
+
+	"bicc/internal/obs"
+	"bicc/internal/plan"
+)
+
+// denseGraph builds a connected m ≈ 4n random-ish graph big enough to clear
+// the planner's small-work region: a Hamiltonian cycle plus three chords per
+// vertex, deterministic so the test is stable.
+func denseGraph(t *testing.T, n int32) *Graph {
+	t.Helper()
+	var edges []Edge
+	for v := int32(0); v < n; v++ {
+		edges = append(edges, Edge{U: v, V: (v + 1) % n})
+		for _, step := range []int32{7, 131, 2477} {
+			w := (v + step) % n
+			if w != v {
+				edges = append(edges, Edge{U: v, V: w})
+			}
+		}
+	}
+	g, _, _, err := NewGraphNormalized(int(n), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPlannerDrivesAutoRuns installs an adaptive planner and checks the
+// library's Auto path defers to it: a dense large graph pinned to one worker
+// dispatches fast-bcc (the FAST-BCC promotion), the clean run feeds the
+// online model, and uninstalling the planner restores the static §4 rule.
+func TestPlannerDrivesAutoRuns(t *testing.T) {
+	pl := plan.New(plan.Config{MaxProcs: 4, Registry: obs.NewRegistry(), ExploreEvery: -1})
+	SetPlanner(pl)
+	defer SetPlanner(nil)
+	if InstalledPlanner() != pl {
+		t.Fatal("InstalledPlanner did not return the installed planner")
+	}
+
+	g := denseGraph(t, 20_000)
+	res, err := BiconnectedComponents(g, &Options{Algorithm: Auto, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != FastBCC {
+		t.Fatalf("planned auto run used %v, want %v", res.Algorithm, FastBCC)
+	}
+	s := pl.Snapshot()
+	if s.Decisions != 1 || s.ByEngine["fast-bcc"] != 1 {
+		t.Fatalf("planner snapshot after run: %+v", s)
+	}
+	if s.Observations != 1 {
+		t.Fatalf("clean run not observed: %+v", s)
+	}
+
+	// Explicit engine requests bypass the planner entirely.
+	res, err = BiconnectedComponents(g, &Options{Algorithm: TVOpt, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != TVOpt {
+		t.Fatalf("explicit run used %v", res.Algorithm)
+	}
+	if s := pl.Snapshot(); s.Decisions != 1 || s.Observations != 1 {
+		t.Fatalf("explicit run leaked into the planner: %+v", s)
+	}
+
+	SetPlanner(nil)
+	res, err = BiconnectedComponents(g, &Options{Algorithm: Auto, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != Sequential {
+		t.Fatalf("static auto at p=1 used %v, want %v", res.Algorithm, Sequential)
+	}
+}
+
+// TestPlanAlgorithmUnpinned lets the planner choose procs too and checks the
+// answer stays identical to a static run — planner choices change latency,
+// never results.
+func TestPlanAlgorithmUnpinned(t *testing.T) {
+	pl := plan.New(plan.Config{MaxProcs: 4, Registry: obs.NewRegistry(), ExploreEvery: -1, Frozen: true})
+	SetPlanner(pl)
+	defer SetPlanner(nil)
+
+	g := denseGraph(t, 20_000)
+	algo, procs := PlanAlgorithm(g, Auto, 0)
+	if algo == Auto || procs < 1 || procs > 4 {
+		t.Fatalf("PlanAlgorithm returned (%v, %d)", algo, procs)
+	}
+	planned, err := BiconnectedComponents(g, &Options{Algorithm: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetPlanner(nil)
+	static, err := BiconnectedComponents(g, &Options{Algorithm: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.NumComponents != static.NumComponents {
+		t.Fatalf("component counts differ: %d vs %d", planned.NumComponents, static.NumComponents)
+	}
+	for i := range planned.EdgeComponent {
+		if planned.EdgeComponent[i] != static.EdgeComponent[i] {
+			t.Fatalf("edge %d labeled %d (planned) vs %d (static)", i, planned.EdgeComponent[i], static.EdgeComponent[i])
+		}
+	}
+}
